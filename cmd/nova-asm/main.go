@@ -1,0 +1,37 @@
+// Command nova-asm assembles the x86 subset used by the guest kernels
+// into a flat binary.
+//
+//	nova-asm -o boot.bin boot.asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova/internal/x86"
+)
+
+func main() {
+	out := flag.String("o", "a.bin", "output file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nova-asm [-o out.bin] input.asm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin, err := x86.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, bin, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d bytes\n", *out, len(bin))
+}

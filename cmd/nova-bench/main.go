@@ -1,0 +1,118 @@
+// Command nova-bench regenerates the paper's evaluation: every figure
+// and table of §8, plus the ablations of this reproduction's DESIGN.md.
+//
+//	nova-bench -experiment all -scale quick
+//	nova-bench -experiment fig5 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nova/internal/bench"
+	"nova/internal/tcb"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"fig1|fig5|fig6|fig7|fig8|fig9|tab1|tab2|ablations|all")
+	scaleName := flag.String("scale", "quick", "quick|full")
+	root := flag.String("root", ".", "repository root for the fig1 line count")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "quick":
+		sc = bench.Quick()
+	case "full":
+		sc = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("fig1", func() error {
+		live, err := tcb.CountRepo(*root)
+		if err != nil {
+			live = nil // still print the paper comparison
+		}
+		fmt.Println(tcb.Format(live))
+		return nil
+	})
+	run("tab1", func() error {
+		fmt.Println(bench.RunTab1())
+		return nil
+	})
+	run("fig5", func() error {
+		t, _, err := bench.RunFig5(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("fig6", func() error {
+		t, _, err := bench.RunFig6(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("fig7", func() error {
+		t, _, err := bench.RunFig7(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("fig8", func() error {
+		t, _, err := bench.RunFig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("fig9", func() error {
+		t, _, err := bench.RunFig9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("tab2", func() error {
+		t, _, err := bench.RunTab2(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("ablations", func() error {
+		t, _, err := bench.RunAblations(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+}

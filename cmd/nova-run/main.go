@@ -1,0 +1,201 @@
+// Command nova-run boots a guest workload under a chosen configuration
+// and reports what happened: console output, VM-exit statistics and the
+// CPU-utilization and timing measurements the paper's evaluation uses.
+//
+//	nova-run -workload compile -mode ept -model blm
+//	nova-run -workload diskread -mode native
+//	nova-run -workload boot -image bootsector.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"nova/internal/guest"
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+	"nova/internal/services"
+	"nova/internal/vmm"
+	"nova/internal/x86"
+)
+
+var models = map[string]hw.CPUModel{
+	"k8": hw.K8, "k10": hw.K10, "ynh": hw.YNH,
+	"cnr": hw.CNR, "wfd": hw.WFD, "blm": hw.BLM,
+}
+
+var modes = map[string]guest.Mode{
+	"native": guest.ModeNative, "direct": guest.ModeDirect,
+	"ept": guest.ModeVirtEPT, "vtlb": guest.ModeVirtVTLB,
+}
+
+func main() {
+	workload := flag.String("workload", "compile", "compile|diskread|udprecv|boot")
+	modeName := flag.String("mode", "ept", "native|direct|ept|vtlb")
+	modelName := flag.String("model", "blm", "k8|k10|ynh|cnr|wfd|blm")
+	image := flag.String("image", "", "boot-sector binary for -workload boot")
+	maxCycles := flag.Uint64("max-cycles", 1<<34, "run budget in cycles")
+	flag.Parse()
+
+	model, ok := models[*modelName]
+	if !ok {
+		fail("unknown model %q", *modelName)
+	}
+	mode, ok := modes[*modeName]
+	if !ok {
+		fail("unknown mode %q", *modeName)
+	}
+
+	if *workload == "boot" {
+		runBoot(model, *image)
+		return
+	}
+
+	var opts guest.KernelOpts
+	var params []uint32
+	withDisk := false
+	switch *workload {
+	case "compile":
+		opts = guest.CompileKernel(667)
+		params = []uint32{20, 384, 32, 40000, 1}
+		withDisk = true
+	case "diskread":
+		opts = guest.DiskChecksumKernel()
+		params = []uint32{8, 50, 4096, 0, 0, 420}
+		withDisk = true
+	case "udprecv":
+		opts = guest.UDPReceiveKernel()
+		params = []uint32{500}
+	default:
+		fail("unknown workload %q", *workload)
+	}
+
+	img := guest.MustBuild(opts)
+	cfg := guest.RunnerConfig{Model: model, Mode: mode, UseVPID: true, HostLargePages: true}
+	if withDisk && (mode == guest.ModeVirtEPT || mode == guest.ModeVirtVTLB) {
+		cfg.WithDiskServer = true
+	}
+	r, err := guest.NewRunner(cfg, img)
+	if err != nil {
+		fail("setup: %v", err)
+	}
+	buf := make([]byte, len(params)*4)
+	for i, p := range params {
+		binary.LittleEndian.PutUint32(buf[i*4:], p)
+	}
+	r.WriteGuest(guest.ParamBase, buf)
+
+	if *workload == "udprecv" {
+		if err := r.RunUntilGuest32(guest.RxReadyAddr, 1, hw.Cycles(*maxCycles)); err != nil {
+			fail("nic handshake: %v", err)
+		}
+		src := hw.NewPacketSource(r.Plat.NIC, r.Plat.Queue, r.Clock().Now,
+			r.Plat.Cost.FreqMHz, 1472, 124, uint64(params[0]))
+		src.Start()
+	}
+
+	cycles, err := r.RunUntilDone(hw.Cycles(*maxCycles))
+	if err != nil {
+		fail("run: %v", err)
+	}
+
+	fmt.Printf("workload %s on %s (%s): %d cycles = %.3f ms simulated time\n",
+		*workload, r.Plat.Cost.Name, mode, cycles, r.Plat.Cost.CyclesToSeconds(cycles)*1000)
+	fmt.Printf("CPU utilization: %.2f%%\n", r.BusyFraction()*100)
+	if v := r.VCPU(); v != nil {
+		fmt.Printf("VM exits: %d total, injections: %d\n", v.TotalExits(), v.InjectedIRQs)
+		for reason := x86.ExitReason(0); int(reason) < x86.NumExitReasons; reason++ {
+			if v.Exits[reason] > 0 {
+				fmt.Printf("  %-20s %d\n", reason.String(), v.Exits[reason])
+			}
+		}
+	}
+	if r.K != nil {
+		s := r.K.Stats
+		fmt.Printf("kernel: %d hypercalls, %d IPC calls, %d host interrupts, %d vTLB fills, %d vTLB flushes\n",
+			s.Hypercalls, s.IPCCalls, s.HostInterrupts, s.VTLBFills, s.VTLBFlushes)
+	}
+	if r.DS != nil {
+		fmt.Printf("disk server: %d requests, %d sectors, %d IRQs\n",
+			r.DS.Stats.Requests, r.DS.Stats.Sectors, r.DS.Stats.IRQs)
+	}
+	if r.VMM != nil && r.VMM.Console() != "" {
+		fmt.Printf("console: %q\n", r.VMM.Console())
+	}
+}
+
+// runBoot performs the full BIOS boot path on a user-provided boot
+// sector (or a built-in demo that prints via INT 10h).
+func runBoot(model hw.CPUModel, imagePath string) {
+	var sector []byte
+	if imagePath != "" {
+		b, err := os.ReadFile(imagePath)
+		if err != nil {
+			fail("read image: %v", err)
+		}
+		sector = b
+	} else {
+		sector = x86.MustAssemble(`bits 16
+org 0x7c00
+	mov si, msg
+next:
+	mov al, [si]
+	cmp al, 0
+	jz done
+	mov ah, 0x0e
+	int 0x10
+	inc si
+	jmp next
+done:
+	hlt
+	jmp done
+msg:
+	db "Hello from the NOVA virtual BIOS!", 0`)
+	}
+	if len(sector) > 512 {
+		fail("boot sector is %d bytes (max 512)", len(sector))
+	}
+	padded := make([]byte, 512)
+	copy(padded, sector)
+
+	plat := hw.MustNewPlatform(hw.Config{Model: model, RAMSize: 128 << 20})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	root := services.NewRootPM(k)
+	ds, err := root.StartDiskServer()
+	if err != nil {
+		fail("disk server: %v", err)
+	}
+	if err := plat.AHCI.Disk().WriteSectors(0, 1, padded); err != nil {
+		fail("write boot sector: %v", err)
+	}
+	base, err := root.AllocPages("vm", 1024)
+	if err != nil {
+		fail("alloc: %v", err)
+	}
+	m, err := vmm.New(k, vmm.Config{
+		Name: "boot-vm", MemPages: 1024, BasePage: base, CPU: 0,
+		Mode: hypervisor.ModeEPT, DiskServer: ds, BootDisk: plat.AHCI.Disk(),
+	})
+	if err != nil {
+		fail("vmm: %v", err)
+	}
+	if err := m.Boot(); err != nil {
+		fail("boot: %v", err)
+	}
+	if err := m.Start(10, 10_000_000); err != nil {
+		fail("start: %v", err)
+	}
+	k.Run(k.Now() + 500_000_000)
+	fmt.Printf("console: %q\n", m.Console())
+	fmt.Printf("BIOS calls: %d, VM exits: %d\n", m.Stats.BIOSCalls, m.EC.VCPU.TotalExits())
+	if len(k.Killed) > 0 {
+		fmt.Printf("killed: %v\n", k.Killed)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Command nova-tcb prints the Figure 1 trusted-computing-base
+// comparison and counts this repository's component sizes.
+//
+//	nova-tcb -root .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova/internal/tcb"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+	live, err := tcb.CountRepo(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "count: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tcb.Format(live))
+}

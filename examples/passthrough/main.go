@@ -1,0 +1,85 @@
+// Direct device assignment with IOMMU protection (§4.2 "Device-Driver
+// Attacks", §8.2): the platform's SATA controller is assigned straight
+// to a guest, which drives it with the same driver a native OS would
+// use. The IOMMU confines the device's DMA to the VM's own memory —
+// shown by the device completing real transfers for the guest while a
+// DMA probe aimed at hypervisor memory is refused.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"nova/internal/guest"
+	"nova/internal/hw"
+)
+
+func main() {
+	img := guest.MustBuild(guest.DiskChecksumKernel())
+	r, err := guest.NewRunner(guest.RunnerConfig{
+		Model: hw.BLM, Mode: guest.ModeDirect, UseVPID: true,
+	}, img)
+	check(err)
+
+	params := make([]byte, 12)
+	binary.LittleEndian.PutUint32(params[0:], 8)
+	binary.LittleEndian.PutUint32(params[4:], 10)
+	binary.LittleEndian.PutUint32(params[8:], 777)
+	r.WriteGuest(guest.ParamBase, params)
+
+	if _, err := r.RunUntilDone(10_000_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	// The guest's checksum matches the physical media: the passthrough
+	// path carried real data.
+	want := checksum(r.Plat.AHCI.Disk(), 777, 10*8)
+	got := r.ReadGuest32(guest.ParamBase + 12)
+	fmt.Printf("guest checksum over 10x4KiB at LBA 777: %#x (media: %#x)\n", got, want)
+	if got != want {
+		log.Fatal("passthrough data corrupted")
+	}
+
+	u := r.Plat.IOMMU
+	fmt.Printf("IOMMU: %d translated DMA operations, %d blocked so far\n", u.DMAPasses, u.DMABlocks)
+
+	// A compromised driver now aims the device at the hypervisor's own
+	// memory (host-physical 0x1000 is inside the kernel's reserved
+	// megabyte). The IOMMU domain only maps the VM's guest-physical
+	// space, so the access is refused and logged.
+	err = u.DMAWrite(hw.AHCIDeviceID, 0x40000000, []byte{0x90, 0x90, 0x90, 0x90})
+	fmt.Printf("rogue DMA outside the VM's domain: %v\n", err)
+	if err == nil {
+		log.Fatal("the IOMMU let a rogue DMA through!")
+	}
+	// And an interrupt vector the device was never granted is blocked
+	// by interrupt remapping.
+	if u.RemapInterrupt(hw.AHCIDeviceID, 0xfe) {
+		log.Fatal("interrupt remapping let a forbidden vector through")
+	}
+	fmt.Printf("IOMMU faults recorded: %d (the attack evidence)\n", len(u.Faults))
+
+	v := r.VCPU()
+	fmt.Printf("VM exits during the run: %d (no MMIO emulation: %d ept-violations) — interrupt virtualization only\n",
+		v.TotalExits(), v.Exits[0])
+	fmt.Println("direct assignment worked; DMA and interrupts stayed confined (§4.2)")
+}
+
+func checksum(d *hw.Disk, lba uint64, sectors int) uint32 {
+	buf := make([]byte, sectors*hw.SectorSize)
+	if err := d.ReadSectors(lba, sectors, buf); err != nil {
+		log.Fatal(err)
+	}
+	var sum uint32
+	for i := 0; i < len(buf); i += 4 {
+		sum += binary.LittleEndian.Uint32(buf[i:])
+	}
+	return sum
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

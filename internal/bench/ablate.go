@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nova/internal/guest"
+	"nova/internal/hw"
+)
+
+// AblationRow compares a design choice on/off.
+type AblationRow struct {
+	Name     string
+	Baseline hw.Cycles
+	Ablated  hw.Cycles
+	Penalty  float64 // % slowdown without the design choice
+}
+
+// RunAblations benchmarks the design choices DESIGN.md calls out:
+// MTD-filtered state transfer (§5.2), direct switching on donated SCs
+// (Figure 3), the one-dimensional vTLB walk trick (§5.3) and NIC
+// interrupt coalescing (§8.3).
+func RunAblations(sc Scale) (*Table, []AblationRow, error) {
+	var rows []AblationRow
+
+	runEPT := func(mod func(*guest.RunnerConfig)) (hw.Cycles, error) {
+		cfg := guest.RunnerConfig{
+			Model: hw.BLM, Mode: guest.ModeVirtEPT, UseVPID: true,
+			HostLargePages: true, WithDiskServer: true,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		img := guest.MustBuild(guest.CompileKernel(667))
+		r, err := guest.NewRunner(cfg, img)
+		if err != nil {
+			return 0, err
+		}
+		params := make([]byte, 24)
+		binary.LittleEndian.PutUint32(params[0:], uint32(sc.Slices))
+		binary.LittleEndian.PutUint32(params[4:], uint32(sc.CachePages))
+		binary.LittleEndian.PutUint32(params[8:], uint32(sc.PrivPages))
+		binary.LittleEndian.PutUint32(params[12:], uint32(sc.FillerIter))
+		binary.LittleEndian.PutUint32(params[16:], 1)
+		binary.LittleEndian.PutUint32(params[20:], uint32(sc.CachePasses))
+		r.WriteGuest(guest.ParamBase, params)
+		return r.RunUntilDone(1 << 40)
+	}
+	runVTLB := func(mod func(*guest.RunnerConfig)) (hw.Cycles, error) {
+		cfg := guest.RunnerConfig{
+			Model: hw.BLM, Mode: guest.ModeVirtVTLB, UseVPID: true,
+			HostLargePages: true, WithDiskServer: true,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		img := guest.MustBuild(guest.CompileKernel(667))
+		r, err := guest.NewRunner(cfg, img)
+		if err != nil {
+			return 0, err
+		}
+		params := make([]byte, 24)
+		binary.LittleEndian.PutUint32(params[0:], uint32(sc.Slices))
+		binary.LittleEndian.PutUint32(params[4:], uint32(sc.CachePages))
+		binary.LittleEndian.PutUint32(params[8:], uint32(sc.PrivPages))
+		binary.LittleEndian.PutUint32(params[12:], uint32(sc.FillerIter))
+		binary.LittleEndian.PutUint32(params[16:], 1)
+		binary.LittleEndian.PutUint32(params[20:], uint32(sc.CachePasses))
+		r.WriteGuest(guest.ParamBase, params)
+		return r.RunUntilDone(1 << 40)
+	}
+
+	add := func(name string, base, abl hw.Cycles) {
+		rows = append(rows, AblationRow{
+			Name: name, Baseline: base, Ablated: abl,
+			Penalty: (float64(abl)/float64(base) - 1) * 100,
+		})
+	}
+
+	base, err := runEPT(nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablate baseline: %w", err)
+	}
+	noMTD, err := runEPT(func(c *guest.RunnerConfig) { c.DisableMTDOpt = true })
+	if err != nil {
+		return nil, nil, err
+	}
+	add("MTD-filtered state transfer (§5.2)", base, noMTD)
+
+	noDS, err := runEPT(func(c *guest.RunnerConfig) { c.DisableDirectSwitch = true })
+	if err != nil {
+		return nil, nil, err
+	}
+	add("direct switch on donated SC (Fig 3)", base, noDS)
+
+	vtlbBase, err := runVTLB(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	noTrick, err := runVTLB(func(c *guest.RunnerConfig) { c.DisableVTLBTrick = true })
+	if err != nil {
+		return nil, nil, err
+	}
+	add("one-dimensional vTLB walk (§5.3)", vtlbBase, noTrick)
+
+	// Interrupt coalescing: UDP receive with the cap on vs off.
+	coal := func(hz int) (hw.Cycles, float64, error) {
+		img := guest.MustBuild(guest.UDPReceiveKernel())
+		r, err := guest.NewRunner(guest.RunnerConfig{
+			Model: hw.BLM, Mode: guest.ModeDirect, UseVPID: true, NICCoalesce: hz,
+		}, img)
+		if err != nil {
+			return 0, 0, err
+		}
+		params := make([]byte, 4)
+		binary.LittleEndian.PutUint32(params, uint32(sc.Packets))
+		r.WriteGuest(guest.ParamBase, params)
+		if err := r.RunUntilGuest32(guest.RxReadyAddr, 1, 1<<32); err != nil {
+			return 0, 0, err
+		}
+		src := hw.NewPacketSource(r.Plat.NIC, r.Plat.Queue, r.Clock().Now,
+			r.Plat.Cost.FreqMHz, 1472, 512, uint64(sc.Packets))
+		src.Start()
+		cy, err := r.RunUntilDone(1 << 42)
+		return cy, r.BusyFraction() * 100, err
+	}
+	_, utilOn, err := coal(20000)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, utilOff, err := coal(-1) // negative leaves hw.Config zero -> default; use 1 to disable
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:    "NIC interrupt coalescing (§8.3), CPU util % with/without",
+		Penalty: utilOff - utilOn,
+	})
+
+	t := &Table{
+		Title:   "Ablations: NOVA design choices on vs off",
+		Columns: []string{"design choice", "with (cycles)", "without (cycles)", "penalty %"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, d(uint64(r.Baseline)), d(uint64(r.Ablated)), f2(r.Penalty)})
+	}
+	_ = utilOn
+	return t, rows, nil
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nova/internal/guest"
+	"nova/internal/hw"
+)
+
+// tiny returns a very small scale for unit tests.
+func tiny() Scale {
+	return Scale{Name: "tiny", Slices: 6, CachePages: 192, PrivPages: 16,
+		FillerIter: 8000, DiskRequests: 8, Packets: 60}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	table, rows, err := RunFig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	rel := map[string]float64{}
+	for _, r := range rows {
+		rel[r.Group+"/"+r.Label] = r.Relative
+	}
+	// Intel ordering: native=100 >= direct >= NOVA EPT > shadow paging.
+	if !(rel["EPT+VPID/Direct"] <= 100.01 && rel["EPT+VPID/NOVA"] <= rel["EPT+VPID/Direct"]+0.5) {
+		t.Errorf("direct/NOVA ordering: direct=%.1f nova=%.1f", rel["EPT+VPID/Direct"], rel["EPT+VPID/NOVA"])
+	}
+	if rel["Shadow paging/NOVA"] >= rel["EPT+VPID/NOVA"]-3 {
+		t.Errorf("shadow paging not clearly slower: vtlb=%.1f ept=%.1f",
+			rel["Shadow paging/NOVA"], rel["EPT+VPID/NOVA"])
+	}
+	// Monolithic competitors slower than NOVA in each group.
+	for _, g := range []string{"EPT+VPID", "EPT w/o VPID", "EPT small pages"} {
+		if rel[g+"/KVM"] > rel[g+"/NOVA"] {
+			t.Errorf("%s: KVM (%.1f) beat NOVA (%.1f)", g, rel[g+"/KVM"], rel[g+"/NOVA"])
+		}
+	}
+	if !(rel["EPT+VPID/Hyper-V"] < rel["EPT+VPID/Xen"] && rel["EPT+VPID/Xen"] <= rel["EPT+VPID/KVM"]) {
+		t.Errorf("competitor ordering wrong: kvm=%.1f xen=%.1f hyperv=%.1f",
+			rel["EPT+VPID/KVM"], rel["EPT+VPID/Xen"], rel["EPT+VPID/Hyper-V"])
+	}
+	// AMD overhead lower than Intel (2-level NPT).
+	amdOver := 100 - rel["AMD NPT/NOVA"]
+	intelOver := 100 - rel["EPT+VPID/NOVA"]
+	if amdOver > intelOver+0.5 {
+		t.Errorf("AMD overhead (%.2f%%) should not exceed Intel (%.2f%%)", amdOver, intelOver)
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	table, points, err := RunFig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	byMode := map[guest.Mode]map[int]Fig6Point{}
+	for _, p := range points {
+		if byMode[p.Mode] == nil {
+			byMode[p.Mode] = map[int]Fig6Point{}
+		}
+		byMode[p.Mode][p.BlockBytes] = p
+	}
+	for _, bs := range []int{512, 4096, 16384, 65536} {
+		n := byMode[guest.ModeNative][bs]
+		dd := byMode[guest.ModeDirect][bs]
+		v := byMode[guest.ModeVirtEPT][bs]
+		if !(n.Utilization < dd.Utilization && dd.Utilization < v.Utilization) {
+			t.Errorf("bs=%d: ordering violated: %.3f %.3f %.3f", bs, n.Utilization, dd.Utilization, v.Utilization)
+		}
+	}
+	// Flat region below 8K: request-rate bound, utilization roughly
+	// constant; above: falls.
+	n512 := byMode[guest.ModeNative][512].Utilization
+	n4096 := byMode[guest.ModeNative][4096].Utilization
+	if n4096 < n512*0.6 || n4096 > n512*1.6 {
+		t.Errorf("native not flat below 8K: 512=%.3f 4096=%.3f", n512, n4096)
+	}
+	n64k := byMode[guest.ModeNative][65536]
+	if n64k.ReqPerSec >= byMode[guest.ModeNative][512].ReqPerSec {
+		t.Error("64K requests not bandwidth-bound")
+	}
+	// Virtualized exits per request: ~6 MMIO + interrupt path.
+	v16k := byMode[guest.ModeVirtEPT][16384]
+	if v16k.ExitsPerRq < 8 || v16k.ExitsPerRq > 40 {
+		t.Errorf("virt exits/request = %.1f, expected O(10)", v16k.ExitsPerRq)
+	}
+}
+
+func TestFig7ShapeHolds(t *testing.T) {
+	table, points, err := RunFig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	for i := 0; i < len(points); i += 2 {
+		n, dd := points[i], points[i+1]
+		if dd.Utilization <= n.Utilization {
+			t.Errorf("pkt=%d mbit=%.0f: direct (%.4f) not above native (%.4f)",
+				n.PacketBytes, n.MbitPerSec, dd.Utilization, n.Utilization)
+		}
+		if n.Dropped != 0 || dd.Dropped != 0 {
+			t.Errorf("pkt=%d mbit=%.0f: drops %d/%d", n.PacketBytes, n.MbitPerSec, n.Dropped, dd.Dropped)
+		}
+	}
+}
+
+func TestFig8ShapeHolds(t *testing.T) {
+	table, rows, err := RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	for _, r := range rows {
+		if r.TLBEffects <= 0 {
+			t.Errorf("%v: no TLB effect on cross-AS IPC", r.Model)
+		}
+		if r.SameAS <= r.EntryExit {
+			t.Errorf("%v: IPC path free?", r.Model)
+		}
+		// Within 25% of the paper's figure-read values.
+		if r.PaperNs > 0 {
+			ratio := r.CrossNs / r.PaperNs
+			if ratio < 0.75 || ratio > 1.25 {
+				t.Errorf("%v: cross-AS %.0f ns vs paper %.0f ns", r.Model, r.CrossNs, r.PaperNs)
+			}
+		}
+	}
+	// BLM has the cheapest IPC in ns (the paper's trend).
+	var blm, ynh Fig8Row
+	for _, r := range rows {
+		if r.Model == hw.BLM {
+			blm = r
+		}
+		if r.Model == hw.YNH {
+			ynh = r
+		}
+	}
+	if blm.CrossNs >= ynh.CrossNs {
+		t.Errorf("BLM (%.0f ns) not faster than YNH (%.0f ns)", blm.CrossNs, ynh.CrossNs)
+	}
+}
+
+func TestFig9ShapeHolds(t *testing.T) {
+	table, rows, err := RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	byLabel := map[string]Fig9Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		// Transition dominates the miss cost (paper: ~80%).
+		frac := float64(r.ExitResume) / float64(r.PerMiss)
+		if frac < 0.5 || frac > 1.0 {
+			t.Errorf("%s: transition fraction %.2f outside [0.5,1.0]", r.Label, frac)
+		}
+		if r.PaperNs > 0 {
+			ratio := r.Ns / r.PaperNs
+			if ratio < 0.7 || ratio > 1.4 {
+				t.Errorf("%s: %.0f ns vs paper %.0f ns", r.Label, r.Ns, r.PaperNs)
+			}
+		}
+	}
+	// Newer CPUs are cheaper; VPID helps on BLM.
+	if byLabel["BLM"].PerMiss >= byLabel["YNH"].PerMiss {
+		t.Error("BLM miss not cheaper than YNH")
+	}
+	if byLabel["BLM VPID"].PerMiss >= byLabel["BLM"].PerMiss {
+		t.Error("VPID did not reduce the miss cost")
+	}
+}
+
+func TestTab1(t *testing.T) {
+	table := RunTab1()
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	t.Logf("\n%s", table)
+}
+
+func TestTab2ShapeHolds(t *testing.T) {
+	table, cols, err := RunTab2(Scale{Name: "tab2", Slices: 16, CachePages: 256,
+		PrivPages: 24, FillerIter: 60000, DiskRequests: 16, Packets: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	var ept, vtlb, disk Tab2Column
+	for _, c := range cols {
+		switch c.Name {
+		case "EPT":
+			ept = c
+		case "vTLB":
+			vtlb = c
+		case "Disk 4k":
+			disk = c
+		}
+	}
+	// Nested paging eliminates vTLB events; shadow paging is dominated
+	// by them (the paper's two-orders-of-magnitude claim scales down).
+	if ept.Events["vTLB Fill"] != 0 {
+		t.Error("EPT run recorded vTLB fills")
+	}
+	if vtlb.Events["vTLB Fill"] == 0 || vtlb.Events["vTLB Fill"] < 5*ept.Events["Total VM Exits"] {
+		t.Errorf("vTLB fills (%d) do not dominate EPT exits (%d)",
+			vtlb.Events["vTLB Fill"], ept.Events["Total VM Exits"])
+	}
+	// Port I/O is the most frequent EPT exit class.
+	if ept.Events["Port I/O"] < ept.Events["Memory-Mapped I/O"] ||
+		ept.Events["Port I/O"] < ept.Events["Hardware Interrupts"] {
+		t.Errorf("EPT: port I/O (%d) should dominate (mmio %d, hwint %d)",
+			ept.Events["Port I/O"], ept.Events["Memory-Mapped I/O"], ept.Events["Hardware Interrupts"])
+	}
+	// Disk 4k: ~6 MMIO exits per disk operation (paper's explicit claim).
+	ops := disk.Events["Disk Operations"]
+	mmio := disk.Events["Memory-Mapped I/O"]
+	if ops == 0 {
+		t.Fatal("no disk operations")
+	}
+	perOp := float64(mmio) / float64(ops)
+	if perOp < 4 || perOp > 10 {
+		t.Errorf("MMIO per disk op = %.1f, paper says 6", perOp)
+	}
+	// vTLB runtime longer than EPT runtime (645 vs 470 in the paper).
+	if vtlb.Seconds <= ept.Seconds {
+		t.Errorf("vTLB runtime %.3f not longer than EPT %.3f", vtlb.Seconds, ept.Seconds)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	table, rows, err := RunAblations(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table)
+	for _, r := range rows {
+		if strings.Contains(r.Name, "coalescing") {
+			if r.Penalty <= 0 {
+				t.Errorf("coalescing off did not raise CPU utilization: %+v", r)
+			}
+			continue
+		}
+		if r.Ablated < r.Baseline {
+			t.Errorf("%s: ablated (%d) faster than baseline (%d)", r.Name, r.Ablated, r.Baseline)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nova/internal/guest"
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// Fig6Point is one measurement of the disk benchmark.
+type Fig6Point struct {
+	BlockBytes  int
+	Mode        guest.Mode
+	Utilization float64 // CPU busy fraction, %
+	CyclesPerRq float64
+	ExitsPerRq  float64
+	ReqPerSec   float64
+}
+
+// blkLayerIter models the guest OS block-layer path per request
+// (~20k cycles at divide latency ~47 cycles/iteration), matching the
+// paper's native CPU-utilization magnitude.
+const blkLayerIter = 420
+
+// RunFig6 reproduces Figure 6: CPU overhead of sequential disk reads
+// with different block sizes, comparing the native driver, a directly
+// assigned controller, and the fully virtualized controller.
+func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
+	blockSizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	modes := []guest.RunnerConfig{
+		{Model: hw.BLM, Mode: guest.ModeNative},
+		{Model: hw.BLM, Mode: guest.ModeDirect, UseVPID: true},
+		{Model: hw.BLM, Mode: guest.ModeVirtEPT, UseVPID: true, WithDiskServer: true},
+	}
+	var points []Fig6Point
+	img := guest.MustBuild(guest.DiskReadKernel())
+	for _, bs := range blockSizes {
+		for _, cfg := range modes {
+			r, err := guest.NewRunner(cfg, img)
+			if err != nil {
+				return nil, nil, err
+			}
+			requests := sc.DiskRequests
+			sectors := bs / hw.SectorSize
+			params := make([]byte, 24)
+			binary.LittleEndian.PutUint32(params[0:], uint32(sectors))
+			binary.LittleEndian.PutUint32(params[4:], uint32(requests))
+			binary.LittleEndian.PutUint32(params[8:], 4096)
+			binary.LittleEndian.PutUint32(params[20:], blkLayerIter)
+			r.WriteGuest(guest.ParamBase, params)
+			cycles, err := r.RunUntilDone(1 << 40)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig6 %v bs=%d: %w", cfg.Mode, bs, err)
+			}
+			p := Fig6Point{
+				BlockBytes:  bs,
+				Mode:        cfg.Mode,
+				Utilization: r.BusyFraction() * 100,
+				CyclesPerRq: float64(r.Clock().Busy()) / float64(requests),
+				ReqPerSec:   float64(requests) / r.Plat.Cost.CyclesToSeconds(cycles),
+			}
+			if v := r.VCPU(); v != nil {
+				p.ExitsPerRq = float64(v.TotalExits()) / float64(requests)
+				_ = v.Exits[x86.ExitEPTViolation]
+			}
+			points = append(points, p)
+		}
+	}
+
+	t := &Table{
+		Title:   "Figure 6: CPU utilization (%) for sequential disk reads by block size",
+		Columns: []string{"block", "native %", "direct %", "virt %", "req/s", "exits/req direct", "exits/req virt"},
+	}
+	for i := 0; i < len(points); i += 3 {
+		n, dct, v := points[i], points[i+1], points[i+2]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n.BlockBytes),
+			f2(n.Utilization), f2(dct.Utilization), f2(v.Utilization),
+			fmt.Sprintf("%.0f", n.ReqPerSec),
+			f1(dct.ExitsPerRq), f1(v.ExitsPerRq),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: utilization flat below 8K (request-rate bound), falling above (bandwidth bound);",
+		"direct assignment roughly doubles native utilization; full virtualization doubles it again (§8.2)",
+		"paper reference at 16K: native 3.7%, direct 7%; ~6 exits/request interrupt path + ~6 MMIO exits when virtualized")
+	return t, points, nil
+}

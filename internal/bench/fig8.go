@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+)
+
+// Fig8Row is one processor's IPC measurement.
+type Fig8Row struct {
+	Model      hw.CPUModel
+	EntryExit  hw.Cycles // syscall transition (lowermost box)
+	SameAS     hw.Cycles // one-way message transfer, same address space
+	CrossAS    hw.Cycles // one-way, different address spaces
+	TLBEffects hw.Cycles // CrossAS - SameAS
+	CrossNs    float64
+	PaperNs    float64 // total read off Figure 8
+}
+
+// paperFig8Ns are the cross-address-space one-way IPC times read off
+// Figure 8 (ns).
+var paperFig8Ns = map[hw.CPUModel]float64{
+	hw.K8: 164, hw.K10: 152, hw.YNH: 192, hw.CNR: 179, hw.WFD: 131, hw.BLM: 108,
+}
+
+// RunFig8 reproduces Figure 8: the IPC microbenchmark across the six
+// Table 1 processors, correlating the user/kernel transition cost with
+// the cost of a message transfer between two threads, same and
+// different address space.
+func RunFig8() (*Table, []Fig8Row, error) {
+	var rows []Fig8Row
+	for _, cm := range hw.Models() {
+		plat := hw.MustNewPlatform(hw.Config{Model: cm.Model, RAMSize: 32 << 20})
+		k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+
+		client, err := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "client", false)
+		if err != nil {
+			return nil, nil, err
+		}
+		server, err := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "server", false)
+		if err != nil {
+			return nil, nil, err
+		}
+		handle := func(m *hypervisor.UTCB) error { return nil }
+		// Same-AS portal: created inside the client's own domain.
+		sameSel := client.Caps.AllocSel()
+		if _, err := k.CreatePortal(client, sameSel, "same", 0, 0, handle); err != nil {
+			return nil, nil, err
+		}
+		// Cross-AS portal: leads into the server.
+		srvSel := server.Caps.AllocSel()
+		if _, err := k.CreatePortal(server, srvSel, "cross", 0, 0, handle); err != nil {
+			return nil, nil, err
+		}
+		crossSel := client.Caps.AllocSel()
+		if err := server.Caps.Delegate(srvSel, client.Caps, crossSel, cap.RightsAll); err != nil {
+			return nil, nil, err
+		}
+
+		const iters = 1000
+		measure := func(sel cap.Selector) (hw.Cycles, error) {
+			msg := &hypervisor.UTCB{Words: []uint64{1, 2}}
+			start := k.Now()
+			for i := 0; i < iters; i++ {
+				if err := k.Call(client, sel, msg); err != nil {
+					return 0, err
+				}
+			}
+			// A call is two one-way transfers (call + reply).
+			return (k.Now() - start) / hw.Cycles(2*iters), nil
+		}
+		same, err := measure(sameSel)
+		if err != nil {
+			return nil, nil, err
+		}
+		cross, err := measure(crossSel)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, Fig8Row{
+			Model:      cm.Model,
+			EntryExit:  cm.SyscallEntryExit,
+			SameAS:     same,
+			CrossAS:    cross,
+			TLBEffects: cross - same,
+			CrossNs:    cm.CyclesToNs(cross),
+			PaperNs:    paperFig8Ns[cm.Model],
+		})
+	}
+
+	t := &Table{
+		Title:   "Figure 8: IPC microbenchmark (cycles, one-way message transfer)",
+		Columns: []string{"cpu", "entry+exit", "ipc path", "tlb effects", "cross-AS total", "ns", "paper ns"},
+	}
+	for _, r := range rows {
+		path := r.SameAS - r.EntryExit
+		t.Rows = append(t.Rows, []string{
+			r.Model.String(), d(uint64(r.EntryExit)), d(uint64(path)),
+			d(uint64(r.TLBEffects)), d(uint64(r.CrossAS)),
+			f1(r.CrossNs), f1(r.PaperNs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: extending TLB tags to user address spaces would cut cross-AS IPC cost (the tlb-effects box) — same conclusion here")
+	return t, rows, nil
+}

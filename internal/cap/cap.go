@@ -1,0 +1,303 @@
+// Package cap implements NOVA's capability system (§5): capability
+// spaces indexed by integral selectors, typed capabilities with
+// permission masks, and the mapping database that records every
+// delegation so that resources can be recursively revoked (§6).
+//
+// Capabilities are opaque and immutable to user components: they cannot
+// be inspected, modified or addressed directly — only named through
+// selectors, delegated with equal-or-reduced permissions, and revoked.
+package cap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Selector names a capability within a protection domain's capability
+// space, like a Unix file descriptor.
+type Selector uint32
+
+// Rights is the permission mask carried by a capability. The meaning of
+// each bit depends on the object type (e.g. for a portal: call; for a
+// PD: create/destroy; for memory: read/write/execute).
+type Rights uint8
+
+// Generic permission bits.
+const (
+	RightRead Rights = 1 << iota
+	RightWrite
+	RightExec
+	RightCtrl // create/destroy/recall/assign
+	RightCall // invoke (portals, semaphores)
+
+	RightsAll = RightRead | RightWrite | RightExec | RightCtrl | RightCall
+)
+
+func (r Rights) String() string {
+	b := []byte("-----")
+	if r&RightRead != 0 {
+		b[0] = 'r'
+	}
+	if r&RightWrite != 0 {
+		b[1] = 'w'
+	}
+	if r&RightExec != 0 {
+		b[2] = 'x'
+	}
+	if r&RightCtrl != 0 {
+		b[3] = 'c'
+	}
+	if r&RightCall != 0 {
+		b[4] = 'p'
+	}
+	return string(b)
+}
+
+// ObjType classifies kernel objects.
+type ObjType int
+
+// The five kernel object types of the microhypervisor (§5), plus the
+// null type.
+const (
+	ObjNull ObjType = iota
+	ObjPD
+	ObjEC
+	ObjSC
+	ObjPortal
+	ObjSemaphore
+)
+
+var objNames = map[ObjType]string{
+	ObjNull: "null", ObjPD: "pd", ObjEC: "ec", ObjSC: "sc",
+	ObjPortal: "portal", ObjSemaphore: "semaphore",
+}
+
+func (t ObjType) String() string {
+	if s, ok := objNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("ObjType(%d)", int(t))
+}
+
+// Object is implemented by every kernel object that can be referenced by
+// a capability.
+type Object interface {
+	ObjectType() ObjType
+}
+
+// Capability couples a kernel object with the holder's permissions.
+type Capability struct {
+	Obj    Object
+	Type   ObjType
+	Rights Rights
+}
+
+// Errors returned by capability-space operations.
+var (
+	ErrEmptySlot   = errors.New("cap: empty selector")
+	ErrOccupied    = errors.New("cap: selector already in use")
+	ErrBadType     = errors.New("cap: wrong object type")
+	ErrNoRights    = errors.New("cap: insufficient rights")
+	ErrRevoked     = errors.New("cap: capability revoked")
+	ErrInvalidSel  = errors.New("cap: invalid selector")
+	ErrNotDeleg    = errors.New("cap: not delegatable")
+	ErrSpaceClosed = errors.New("cap: space destroyed")
+)
+
+// node is one entry in the mapping database: a capability plus its
+// position in the delegation tree.
+type node struct {
+	cap      Capability
+	space    *Space
+	sel      Selector
+	parent   *node
+	children map[*node]struct{}
+	dead     bool
+}
+
+// Space is one protection domain's capability space.
+type Space struct {
+	name    string
+	slots   map[Selector]*node
+	closed  bool
+	nextSel Selector
+
+	// Stats.
+	Inserts   uint64
+	Delegates uint64
+	Revokes   uint64
+	Lookups   uint64
+}
+
+// NewSpace creates an empty capability space.
+func NewSpace(name string) *Space {
+	return &Space{name: name, slots: make(map[Selector]*node)}
+}
+
+// Name returns the space's debugging name.
+func (s *Space) Name() string { return s.name }
+
+// AllocSel returns an unused selector. Selectors below 1024 are left
+// to the VM-exit portal convention (32 per virtual CPU).
+func (s *Space) AllocSel() Selector {
+	if s.nextSel < 1024 {
+		s.nextSel = 1024
+	}
+	for {
+		s.nextSel++
+		if _, ok := s.slots[s.nextSel]; !ok {
+			return s.nextSel
+		}
+	}
+}
+
+// Len returns the number of occupied selectors.
+func (s *Space) Len() int { return len(s.slots) }
+
+// Selectors returns the occupied selectors in ascending order.
+func (s *Space) Selectors() []Selector {
+	out := make([]Selector, 0, len(s.slots))
+	for sel := range s.slots {
+		out = append(out, sel)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Insert installs a root capability (a freshly created kernel object)
+// at sel. Root capabilities have no parent in the mapping database.
+func (s *Space) Insert(sel Selector, obj Object, rights Rights) error {
+	if s.closed {
+		return ErrSpaceClosed
+	}
+	if _, ok := s.slots[sel]; ok {
+		return ErrOccupied
+	}
+	s.slots[sel] = &node{
+		cap:      Capability{Obj: obj, Type: obj.ObjectType(), Rights: rights},
+		space:    s,
+		sel:      sel,
+		children: make(map[*node]struct{}),
+	}
+	s.Inserts++
+	return nil
+}
+
+// Lookup resolves a selector to a capability. The capability value is a
+// copy: holders cannot mutate the space through it.
+func (s *Space) Lookup(sel Selector) (Capability, error) {
+	s.Lookups++
+	n, ok := s.slots[sel]
+	if !ok || n.dead {
+		return Capability{}, ErrEmptySlot
+	}
+	return n.cap, nil
+}
+
+// LookupTyped resolves a selector and checks type and rights in one
+// step, as the hypercall layer does.
+func (s *Space) LookupTyped(sel Selector, t ObjType, need Rights) (Capability, error) {
+	c, err := s.Lookup(sel)
+	if err != nil {
+		return Capability{}, err
+	}
+	if c.Type != t {
+		return Capability{}, ErrBadType
+	}
+	if c.Rights&need != need {
+		return Capability{}, ErrNoRights
+	}
+	return c, nil
+}
+
+// Delegate copies the capability at srcSel into dst at dstSel, with
+// rights reduced by mask, and records the delegation in the mapping
+// database. The receiver's capability can later be withdrawn by
+// revoking the source (§6).
+func (s *Space) Delegate(srcSel Selector, dst *Space, dstSel Selector, mask Rights) error {
+	if s.closed || dst.closed {
+		return ErrSpaceClosed
+	}
+	src, ok := s.slots[srcSel]
+	if !ok || src.dead {
+		return ErrEmptySlot
+	}
+	if _, ok := dst.slots[dstSel]; ok {
+		return ErrOccupied
+	}
+	child := &node{
+		cap: Capability{
+			Obj:    src.cap.Obj,
+			Type:   src.cap.Type,
+			Rights: src.cap.Rights & mask,
+		},
+		space:    dst,
+		sel:      dstSel,
+		parent:   src,
+		children: make(map[*node]struct{}),
+	}
+	src.children[child] = struct{}{}
+	dst.slots[dstSel] = child
+	s.Delegates++
+	return nil
+}
+
+// Revoke withdraws all capabilities that were delegated (transitively)
+// from sel. If self is true, the capability at sel itself is removed as
+// well. It returns how many capabilities were removed.
+func (s *Space) Revoke(sel Selector, self bool) (int, error) {
+	n, ok := s.slots[sel]
+	if !ok || n.dead {
+		return 0, ErrEmptySlot
+	}
+	s.Revokes++
+	removed := 0
+	var kill func(*node)
+	kill = func(v *node) {
+		for c := range v.children {
+			kill(c)
+		}
+		v.children = nil
+		v.dead = true
+		delete(v.space.slots, v.sel)
+		if v.parent != nil {
+			delete(v.parent.children, v)
+		}
+		removed++
+	}
+	for c := range n.children {
+		kill(c)
+	}
+	if self {
+		kill(n)
+	}
+	return removed, nil
+}
+
+// Remove deletes the capability at sel from this space only (close-like
+// semantics; delegated children survive and reparent to nothing —
+// matching NOVA where removing your own selector does not revoke).
+func (s *Space) Remove(sel Selector) error {
+	n, ok := s.slots[sel]
+	if !ok {
+		return ErrEmptySlot
+	}
+	for c := range n.children {
+		c.parent = nil
+	}
+	if n.parent != nil {
+		delete(n.parent.children, n)
+	}
+	n.dead = true
+	delete(s.slots, sel)
+	return nil
+}
+
+// Destroy closes the space, revoking everything delegated from it.
+func (s *Space) Destroy() {
+	for sel := range s.slots {
+		s.Revoke(sel, true) //nolint:errcheck // best-effort teardown
+	}
+	s.closed = true
+}

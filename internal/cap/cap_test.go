@@ -1,0 +1,227 @@
+package cap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type fakeObj struct{ t ObjType }
+
+func (f *fakeObj) ObjectType() ObjType { return f.t }
+
+func TestInsertLookup(t *testing.T) {
+	s := NewSpace("root")
+	obj := &fakeObj{t: ObjPortal}
+	if err := s.Insert(5, obj, RightCall|RightCtrl); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Lookup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Obj != obj || c.Type != ObjPortal {
+		t.Errorf("cap = %+v", c)
+	}
+	if _, err := s.Lookup(6); err != ErrEmptySlot {
+		t.Errorf("empty slot lookup: %v", err)
+	}
+	if err := s.Insert(5, obj, RightCall); err != ErrOccupied {
+		t.Errorf("double insert: %v", err)
+	}
+}
+
+func TestLookupTyped(t *testing.T) {
+	s := NewSpace("root")
+	s.Insert(1, &fakeObj{t: ObjSemaphore}, RightCall)
+	if _, err := s.LookupTyped(1, ObjSemaphore, RightCall); err != nil {
+		t.Errorf("typed lookup failed: %v", err)
+	}
+	if _, err := s.LookupTyped(1, ObjPortal, RightCall); err != ErrBadType {
+		t.Errorf("wrong type: %v", err)
+	}
+	if _, err := s.LookupTyped(1, ObjSemaphore, RightCtrl); err != ErrNoRights {
+		t.Errorf("missing rights: %v", err)
+	}
+}
+
+func TestDelegateReducesRights(t *testing.T) {
+	a, b := NewSpace("a"), NewSpace("b")
+	a.Insert(1, &fakeObj{t: ObjPortal}, RightCall|RightCtrl)
+	if err := a.Delegate(1, b, 9, RightCall); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Lookup(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rights != RightCall {
+		t.Errorf("rights = %v, want call only", c.Rights)
+	}
+	// Delegation cannot amplify: delegate from b with full mask still
+	// yields only what b holds.
+	d := NewSpace("d")
+	if err := b.Delegate(9, d, 1, RightsAll); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = d.Lookup(1)
+	if c.Rights != RightCall {
+		t.Errorf("amplified rights: %v", c.Rights)
+	}
+}
+
+func TestRevokeSubtree(t *testing.T) {
+	// root -> a -> b, root -> c. Revoking at root removes a, b, c but
+	// keeps root's own capability.
+	root, a, b, c := NewSpace("root"), NewSpace("a"), NewSpace("b"), NewSpace("c")
+	root.Insert(1, &fakeObj{t: ObjPD}, RightsAll)
+	root.Delegate(1, a, 1, RightsAll)
+	a.Delegate(1, b, 1, RightsAll)
+	root.Delegate(1, c, 1, RightsAll)
+
+	n, err := root.Revoke(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("revoked %d, want 3", n)
+	}
+	if _, err := root.Lookup(1); err != nil {
+		t.Error("root capability lost on non-self revoke")
+	}
+	for name, sp := range map[string]*Space{"a": a, "b": b, "c": c} {
+		if _, err := sp.Lookup(1); err == nil {
+			t.Errorf("%s still holds a revoked capability", name)
+		}
+	}
+}
+
+func TestRevokeSelf(t *testing.T) {
+	root := NewSpace("root")
+	root.Insert(1, &fakeObj{t: ObjEC}, RightsAll)
+	n, err := root.Revoke(1, true)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := root.Lookup(1); err == nil {
+		t.Error("self-revoked capability still present")
+	}
+}
+
+func TestRevokeMidTreeKeepsAncestors(t *testing.T) {
+	root, a, b := NewSpace("root"), NewSpace("a"), NewSpace("b")
+	root.Insert(1, &fakeObj{t: ObjSC}, RightsAll)
+	root.Delegate(1, a, 1, RightsAll)
+	a.Delegate(1, b, 1, RightsAll)
+	a.Revoke(1, true)
+	if _, err := root.Lookup(1); err != nil {
+		t.Error("ancestor affected by descendant revoke")
+	}
+	if _, err := b.Lookup(1); err == nil {
+		t.Error("descendant survived")
+	}
+}
+
+func TestDestroySpaceRevokesDelegations(t *testing.T) {
+	a, b := NewSpace("a"), NewSpace("b")
+	a.Insert(1, &fakeObj{t: ObjPortal}, RightsAll)
+	a.Delegate(1, b, 1, RightsAll)
+	a.Destroy()
+	if _, err := b.Lookup(1); err == nil {
+		t.Error("delegated capability survived space destruction")
+	}
+	if err := a.Insert(2, &fakeObj{t: ObjPortal}, RightsAll); err != ErrSpaceClosed {
+		t.Errorf("insert into destroyed space: %v", err)
+	}
+}
+
+func TestDelegationChainProperty(t *testing.T) {
+	// Property: along any delegation chain with arbitrary masks, the
+	// final rights equal the AND of the root rights and every mask, and
+	// a root revoke clears every space in the chain.
+	f := func(rootRights uint8, masks []uint8) bool {
+		if len(masks) > 12 {
+			masks = masks[:12]
+		}
+		root := NewSpace("root")
+		root.Insert(1, &fakeObj{t: ObjPortal}, Rights(rootRights)&RightsAll)
+		want := Rights(rootRights) & RightsAll
+		prev := root
+		var chain []*Space
+		for _, m := range masks {
+			next := NewSpace("n")
+			if err := prev.Delegate(1, next, 1, Rights(m)); err != nil {
+				return false
+			}
+			want &= Rights(m)
+			chain = append(chain, next)
+			c, _ := next.Lookup(1)
+			if c.Rights != want {
+				return false
+			}
+			prev = next
+		}
+		root.Revoke(1, false)
+		for _, sp := range chain {
+			if _, err := sp.Lookup(1); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	if got := (RightRead | RightCall).String(); got != "r---p" {
+		t.Errorf("rights string = %q", got)
+	}
+}
+
+func TestRemoveKeepsChildren(t *testing.T) {
+	// Remove (close) differs from revoke: the holder's selector goes
+	// away, but capabilities it delegated survive.
+	a, b := NewSpace("a"), NewSpace("b")
+	a.Insert(1, &fakeObj{t: ObjPortal}, RightsAll)
+	a.Delegate(1, b, 1, RightsAll)
+	if err := a.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lookup(1); err == nil {
+		t.Error("removed selector still resolves")
+	}
+	if _, err := b.Lookup(1); err != nil {
+		t.Error("child did not survive parent's Remove")
+	}
+	if err := a.Remove(1); err != ErrEmptySlot {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestAllocSelNeverCollides(t *testing.T) {
+	s := NewSpace("s")
+	seen := map[Selector]bool{}
+	for i := 0; i < 1000; i++ {
+		sel := s.AllocSel()
+		if seen[sel] {
+			t.Fatalf("selector %d allocated twice", sel)
+		}
+		if sel < 1024 {
+			t.Fatalf("selector %d inside the reserved portal range", sel)
+		}
+		seen[sel] = true
+		if err := s.Insert(sel, &fakeObj{t: ObjEC}, RightsAll); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDelegateIntoOccupiedSlotFails(t *testing.T) {
+	a, b := NewSpace("a"), NewSpace("b")
+	a.Insert(1, &fakeObj{t: ObjPortal}, RightsAll)
+	b.Insert(5, &fakeObj{t: ObjSemaphore}, RightsAll)
+	if err := a.Delegate(1, b, 5, RightsAll); err != ErrOccupied {
+		t.Errorf("delegate into occupied slot: %v", err)
+	}
+}

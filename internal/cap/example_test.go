@@ -1,0 +1,60 @@
+package cap_test
+
+import (
+	"fmt"
+
+	"nova/internal/cap"
+)
+
+type portal struct{ name string }
+
+func (p *portal) ObjectType() cap.ObjType { return cap.ObjPortal }
+
+// The lifecycle of a capability: created in one space, delegated with
+// reduced rights, and recursively revoked through the mapping database.
+func Example() {
+	server := cap.NewSpace("server")
+	client := cap.NewSpace("client")
+
+	pt := &portal{name: "disk"}
+	server.Insert(1, pt, cap.RightsAll)          //nolint:errcheck
+	server.Delegate(1, client, 7, cap.RightCall) //nolint:errcheck
+
+	c, _ := client.Lookup(7)
+	fmt.Println("client rights:", c.Rights)
+
+	removed, _ := server.Revoke(1, false)
+	fmt.Println("revoked:", removed)
+	_, err := client.Lookup(7)
+	fmt.Println("client lookup after revoke:", err)
+
+	// Output:
+	// client rights: ----p
+	// revoked: 1
+	// client lookup after revoke: cap: empty selector
+}
+
+// Memory delegation follows the recursive address-space model: the
+// parent can always take pages back from everyone downstream.
+func ExampleMemSpace_Revoke() {
+	root := cap.NewMemSpace("root")
+	vmm := cap.NewMemSpace("vmm")
+	vm := cap.NewMemSpace("vm")
+
+	root.InsertRoot(0x100, 0x100, 16, cap.RightsAll)             //nolint:errcheck
+	root.Delegate(0x100, vmm, 0x100, 16, cap.RightsAll)          //nolint:errcheck
+	vmm.Delegate(0x100, vm, 0, 16, cap.RightRead|cap.RightWrite) //nolint:errcheck
+
+	frame, _, _ := vm.Translate(3)
+	fmt.Printf("vm page 3 -> frame %#x\n", frame)
+
+	n := root.Revoke(0x100, 16, false)
+	fmt.Println("mappings revoked:", n)
+	_, _, ok := vm.Translate(3)
+	fmt.Println("vm still mapped:", ok)
+
+	// Output:
+	// vm page 3 -> frame 0x103
+	// mappings revoked: 32
+	// vm still mapped: false
+}

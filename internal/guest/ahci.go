@@ -1,0 +1,132 @@
+package guest
+
+import "fmt"
+
+// Guest-side AHCI driver, written once and used in all three
+// configurations of Figure 6: natively it programs the host controller,
+// with direct assignment it programs the same controller through the
+// IOMMU-protected passthrough mapping, and fully virtualized it
+// programs the VMM's device model. The driver issues READ/WRITE DMA EXT
+// through command slot 0 and synchronizes with the completion interrupt
+// (IRQ 11, vector 0x2b).
+
+// Driver memory layout inside the guest.
+const (
+	AHCIMMIOConst = 0xfeb00000
+	ahciCLB       = 0x10000
+	ahciCTBA      = 0x10400
+)
+
+// AHCIDriverFragment returns the driver subroutines: ahci_init,
+// ahci_read (eax=LBA, ecx=sectors, edi=buffer), ahci_write (same), and
+// ahci_wait (hlt until the completion ISR fires).
+func AHCIDriverFragment() string {
+	return fmt.Sprintf(`
+ahci_init:
+	push esi
+	mov esi, %#x
+	mov dword [esi+0x100], %#x
+	mov dword [esi+0x104], 0
+	mov dword [esi+0x110], 0xffffffff
+	mov dword [esi+0x114], 0x40000001
+	mov dword [esi+0x118], 0x11
+	mov dword [esi+0x04], 2
+	pop esi
+	ret
+
+ahci_cmd_common:
+	mov dword [disk_done], 0
+	mov edx, ecx
+	shl edx, 16
+	or edx, 5
+	cmp byte [disk_write], 0
+	jz acc_read
+	or edx, 0x40
+acc_read:
+	mov [%#x], edx
+	mov dword [%#x + 8], %#x
+	mov dword [%#x + 12], 0
+	mov byte [%#x], 0x27
+	mov byte [%#x + 1], 0x80
+	mov bl, 0x25
+	cmp byte [disk_write], 0
+	jz acc_rcmd
+	mov bl, 0x35
+acc_rcmd:
+	mov [%#x + 2], bl
+	mov [%#x + 4], al
+	mov ebx, eax
+	shr ebx, 8
+	mov [%#x + 5], bl
+	shr ebx, 8
+	mov [%#x + 6], bl
+	mov byte [%#x + 7], 0x40
+	shr ebx, 8
+	mov [%#x + 8], bl
+	mov byte [%#x + 9], 0
+	mov byte [%#x + 10], 0
+	mov [%#x + 12], cx
+	mov [%#x + 0x80], edi
+	mov dword [%#x + 0x84], 0
+	mov ebx, ecx
+	shl ebx, 9
+	dec ebx
+	mov [%#x + 0x8c], ebx
+	push esi
+	mov esi, %#x
+	mov dword [esi+0x138], 1
+	pop esi
+	ret
+
+ahci_read:
+	mov byte [disk_write], 0
+	jmp ahci_cmd_common
+
+ahci_write:
+	mov byte [disk_write], 1
+	jmp ahci_cmd_common
+
+ahci_wait:
+	cli
+	mov eax, [disk_done]
+	test eax, eax
+	jnz aw_done
+	sti
+	hlt
+	jmp ahci_wait
+aw_done:
+	sti
+	ret
+
+disk_done: dd 0
+disk_write: db 0
+align 4
+`,
+		AHCIMMIOConst,
+		ahciCLB,
+		ahciCLB, ahciCLB, ahciCTBA, ahciCLB,
+		ahciCTBA, ahciCTBA,
+		ahciCTBA, ahciCTBA,
+		ahciCTBA, ahciCTBA, ahciCTBA,
+		ahciCTBA, ahciCTBA, ahciCTBA,
+		ahciCTBA, ahciCTBA, ahciCTBA,
+		ahciCTBA,
+		AHCIMMIOConst,
+	)
+}
+
+// AHCIISRBody is the ISR fragment for vector 0x2b (IRQ 11): it
+// acknowledges the controller and flags completion. The builder's
+// wrapper saves EAX and EOIs the PICs.
+func AHCIISRBody() string {
+	return fmt.Sprintf(`	push esi
+	mov esi, %#x
+	mov eax, [esi+0x110]
+	mov [esi+0x110], eax
+	mov dword [esi+0x08], 1
+	mov dword [disk_done], 1
+	pop esi`, AHCIMMIOConst)
+}
+
+// AHCIVector is the interrupt vector of the driver's ISR.
+const AHCIVector = 0x2b

@@ -1,0 +1,343 @@
+// Package guest contains the guest operating systems of the evaluation:
+// small, genuine x86 kernels assembled by internal/x86/asm. The same
+// kernel images run in all three configurations the paper compares —
+// natively on the bare platform, in a VM with direct device assignment,
+// and fully virtualized — because the device programming model (PIC,
+// PIT, AHCI, NIC) is identical in all three.
+package guest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nova/internal/x86"
+)
+
+// Entry is the guest-physical load/entry address of all kernels built
+// here; the VMM's multiboot-style loader and the bare-metal runner both
+// start execution there in real mode.
+const Entry = 0x8000
+
+// Layout constants shared by the kernels.
+const (
+	GDTAddr    = 0x800  // global descriptor table
+	IDTAddr    = 0x3000 // interrupt descriptor table (built by code)
+	PageDir    = 0x20000
+	PageTables = 0x21000 // identity page tables (PSE off) or via 4M PDEs
+	StackTop   = 0x7000
+
+	// MarkerAddr is the guest-physical "progress mailbox": kernels
+	// publish progress counters and completion flags here for the host
+	// harness to poll.
+	MarkerAddr = 0x6000
+	// MarkerDone is stored at MarkerAddr when the workload finishes.
+	MarkerDone = 0xd00ed00e
+	// DoneTSCAddr holds the RDTSC value captured at completion, giving
+	// cycle-exact workload durations independent of polling granularity.
+	DoneTSCAddr = MarkerAddr + 8
+)
+
+// KernelOpts selects the runtime features a kernel is built with.
+type KernelOpts struct {
+	// Paging enables paging with an identity mapping built by the
+	// kernel itself (4 KiB pages; MapMB megabytes are mapped).
+	Paging bool
+	MapMB  int
+	// LargeGuestPages uses 4 MiB PSE mappings instead of 4 KiB pages.
+	LargeGuestPages bool
+
+	// TimerHz programs the PIT for a periodic timer interrupt with an
+	// EOI-ing ISR (vector 0x20).
+	TimerHz int
+
+	// ExtraISRs maps interrupt vectors to ISR body fragments (the
+	// builder wraps them with register save/EOI/iret). The fragment
+	// must not use the stack beyond push/pop balance.
+	ExtraISRs map[int]string
+
+	// Fragments is appended verbatim before the workload (helper
+	// routines; must be jumped over or pure subroutines).
+	Fragments string
+
+	// Workload is the 32-bit code run after initialization. It should
+	// end with `jmp finish` (which stores MarkerDone and parks the CPU)
+	// or loop forever.
+	Workload string
+}
+
+// Build assembles a kernel image to be loaded at Entry.
+func Build(o KernelOpts) ([]byte, error) {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("bits 16")
+	w("org %#x", Entry)
+	w("	cli")
+	w("	lgdt [gdtr_data]")
+	w("	mov eax, cr0")
+	w("	or eax, 1")
+	w("	mov cr0, eax")
+	w("	jmp dword 0x08:pm_entry")
+	w("gdtr_data:")
+	w("	dw 23")
+	w("	dd gdt_data")
+	w("align 8")
+	w("gdt_data:")
+	w("	dd 0, 0")
+	w("	dd 0x0000ffff, 0x00cf9a00") // flat 32-bit code
+	w("	dd 0x0000ffff, 0x00cf9200") // flat 32-bit data
+	w("bits 32")
+	w("pm_entry:")
+	w("	mov ax, 0x10")
+	w("	mov ds, ax")
+	w("	mov es, ax")
+	w("	mov ss, ax")
+	w("	mov fs, ax")
+	w("	mov gs, ax")
+	w("	mov esp, %#x", StackTop)
+
+	// Interrupt descriptor table: 64 vectors pointing at the ISR stubs.
+	w("	mov edi, %#x", IDTAddr)
+	w("	mov ecx, 64")
+	w("	mov esi, isr_table")
+	w("idt_build:")
+	w("	mov eax, [esi]")
+	w("	mov word [edi], ax") // offset low
+	w("	mov word [edi+2], 0x08")
+	w("	mov byte [edi+4], 0")
+	w("	mov byte [edi+5], 0x8e")
+	w("	shr eax, 16")
+	w("	mov word [edi+6], ax") // offset high
+	w("	add edi, 8")
+	w("	add esi, 4")
+	w("	dec ecx")
+	w("	jnz idt_build")
+	w("	lidt [idtr_data]")
+
+	// PIC initialization: bases 0x20/0x28, all unmasked.
+	for _, s := range []struct {
+		port uint16
+		val  int
+	}{
+		{0x20, 0x11}, {0x21, 0x20}, {0x21, 0x04}, {0x21, 0x01},
+		{0xa0, 0x11}, {0xa1, 0x28}, {0xa1, 0x02}, {0xa1, 0x01},
+		{0x21, 0x00}, {0xa1, 0x00},
+	} {
+		w("	mov al, %#x", s.val)
+		w("	out %#x, al", s.port)
+	}
+
+	if o.Paging {
+		writePagingSetup(w, o)
+	}
+
+	if o.TimerHz > 0 {
+		reload := 1193182 / o.TimerHz
+		if reload > 0xffff {
+			reload = 0xffff
+		}
+		w("	mov al, 0x34") // channel 0, lobyte/hibyte, mode 2
+		w("	out 0x43, al")
+		w("	mov al, %#x", reload&0xff)
+		w("	out 0x40, al")
+		w("	mov al, %#x", reload>>8)
+		w("	out 0x40, al")
+	}
+
+	w("	sti")
+	w("; ---- workload ----")
+	b.WriteString(o.Workload)
+	w("")
+	w("finish:")
+	w("	rdtsc")
+	w("	mov [%#x], eax", DoneTSCAddr)
+	w("	mov [%#x], edx", DoneTSCAddr+4)
+	w("	mov dword [%#x], %#x", MarkerAddr, MarkerDone)
+	w("park:")
+	w("	hlt")
+	w("	jmp park")
+
+	if o.Fragments != "" {
+		w("; ---- fragments ----")
+		b.WriteString(o.Fragments)
+		w("")
+	}
+
+	// ISR stubs and the vector table.
+	writeISRs(w, o)
+
+	w("idtr_data:")
+	w("	dw 0x1ff")
+	w("	dd %#x", IDTAddr)
+
+	img, err := x86.Assemble(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("guest: %w\n--- source ---\n%s", err, numberLines(b.String()))
+	}
+	return img, nil
+}
+
+// MustBuild panics on build errors (static kernels in tests/benches).
+func MustBuild(o KernelOpts) []byte {
+	img, err := Build(o)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// writePagingSetup emits code that builds identity page tables and
+// enables paging.
+func writePagingSetup(w func(string, ...any), o KernelOpts) {
+	mapMB := o.MapMB
+	if mapMB <= 0 {
+		mapMB = 4
+	}
+	if o.LargeGuestPages {
+		// 4M PDEs: one entry per 4 MiB.
+		entries := (mapMB + 3) / 4
+		w("	mov edi, %#x", PageDir)
+		w("	mov ecx, 1024")
+		w("	xor eax, eax")
+		w("zero_pd:")
+		w("	mov [edi], eax")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz zero_pd")
+		w("	mov edi, %#x", PageDir)
+		w("	mov eax, 0x83") // present | write | PS
+		w("	mov ecx, %d", entries)
+		w("pde_loop:")
+		w("	mov [edi], eax")
+		w("	add eax, 0x400000")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz pde_loop")
+		// MMIO window PDE (device registers at 0xfeb00000).
+		w("	mov dword [%#x], 0xfeb00083", PageDir+0x3fa*4)
+		w("	mov eax, cr4")
+		w("	or eax, 0x10") // PSE
+		w("	mov cr4, eax")
+	} else {
+		// 4K page tables: one PT per 4 MiB of identity map.
+		pts := (mapMB + 3) / 4
+		w("	mov edi, %#x", PageDir)
+		w("	mov ecx, 1024")
+		w("	xor eax, eax")
+		w("zero_pd:")
+		w("	mov [edi], eax")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz zero_pd")
+		w("	mov edi, %#x", PageTables)
+		w("	mov eax, 3") // present | write
+		w("	mov ecx, %d", pts*1024)
+		w("pte_loop:")
+		w("	mov [edi], eax")
+		w("	add eax, 0x1000")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz pte_loop")
+		w("	mov edi, %#x", PageDir)
+		w("	mov eax, %#x + 3", PageTables)
+		w("	mov ecx, %d", pts)
+		w("pde_loop:")
+		w("	mov [edi], eax")
+		w("	add eax, 0x1000")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz pde_loop")
+		// MMIO window: a dedicated PT at PageTables + pts*0x1000.
+		mmioPT := PageTables + pts*0x1000
+		w("	mov edi, %#x", mmioPT)
+		w("	mov eax, 0xfeb00003")
+		w("	mov ecx, 1024")
+		w("mmio_pte:")
+		w("	mov [edi], eax")
+		w("	add eax, 0x1000")
+		w("	add edi, 4")
+		w("	dec ecx")
+		w("	jnz mmio_pte")
+		w("	mov dword [%#x], %#x + 3", PageDir+0x3fa*4, mmioPT)
+	}
+	w("	mov eax, %#x", PageDir)
+	w("	mov cr3, eax")
+	w("	mov eax, cr0")
+	w("	or eax, 0x80000000")
+	w("	mov cr0, eax")
+}
+
+// writeISRs emits the default timer ISR, any extra ISRs, a default
+// no-op handler, and the 64-entry vector table the IDT builder reads.
+func writeISRs(w func(string, ...any), o KernelOpts) {
+	w("isr_default:")
+	w("	push eax")
+	w("	mov al, 0x20")
+	w("	out 0x20, al")
+	w("	pop eax")
+	w("	iretd")
+
+	w("isr_timer:")
+	w("	push eax")
+	w("	mov eax, [tick_count]")
+	w("	inc eax")
+	w("	mov [tick_count], eax")
+	if body, ok := o.ExtraISRs[0x20]; ok {
+		w("%s", body)
+	}
+	w("	mov al, 0x20")
+	w("	out 0x20, al") // EOI master
+	w("	pop eax")
+	w("	iretd")
+	w("tick_count: dd 0")
+
+	hasErrCode := map[int]bool{8: true, 10: true, 11: true, 12: true, 13: true, 14: true, 17: true}
+	vecs := make([]int, 0, len(o.ExtraISRs))
+	for vec := range o.ExtraISRs {
+		vecs = append(vecs, vec)
+	}
+	sort.Ints(vecs)
+	for _, vec := range vecs {
+		if vec == 0x20 {
+			continue
+		}
+		body := o.ExtraISRs[vec]
+		w("isr_vec_%d:", vec)
+		w("	push eax")
+		w("%s", body)
+		if vec >= 0x20 { // hardware interrupt: EOI the PIC(s)
+			if vec >= 0x28 && vec < 0x30 {
+				w("	mov al, 0x20")
+				w("	out 0xa0, al")
+			}
+			w("	mov al, 0x20")
+			w("	out 0x20, al")
+		}
+		w("	pop eax")
+		if vec < 0x20 && hasErrCode[vec] {
+			w("	add esp, 4") // drop the error code
+		}
+		w("	iretd")
+	}
+
+	w("isr_table:")
+	for vec := 0; vec < 64; vec++ {
+		switch {
+		case vec == 0x20:
+			w("	dd isr_timer")
+		case o.ExtraISRs[vec] != "":
+			w("	dd isr_vec_%d", vec)
+		default:
+			w("	dd isr_default")
+		}
+	}
+}
+
+func numberLines(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%4d  %s", i+1, lines[i])
+	}
+	return strings.Join(lines, "\n")
+}

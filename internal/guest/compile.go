@@ -1,0 +1,220 @@
+package guest
+
+import "fmt"
+
+// CompileKernel builds the Linux-kernel-compilation stand-in of §8.1:
+// a multitasking guest OS with four "compiler processes", each with its
+// own address space. The timer interrupt drives round-robin context
+// switches (CR3 reloads — the events that hurt shadow paging), the
+// interrupt path masks/EOIs/unmasks at the PIC (the dominant "Port I/O"
+// row of Table 2), each timeslice streams through a PSE-mapped page
+// cache (TLB pressure: the small-vs-large host page comparison) and
+// demand-faults private pages (guest page faults), every few slices a
+// block is read from disk, and the compute itself is divide-heavy
+// arithmetic.
+//
+// Parameters at ParamBase:
+//
+//	+0:  total timeslices to run
+//	+4:  page-cache pages in the working set (<= 1024)
+//	+8:  private pages touched per slice (<= 512)
+//	+12: filler iterations per subslice (divide latency dominates)
+//	+16: disk reads enabled (0/1)
+//	+20: subslices per timeslice (default 1); memory touching and
+//	     compute interleave per subslice, so warm TLB state has value
+//	     and untagged VM transitions cost refills (Figure 5's
+//	     "EPT w/o VPID" delta)
+//
+// Progress (slices completed) is published at ProgressAddr; the number
+// of demand faults at ParamBase+0x30.
+func CompileKernel(timerHz int) KernelOpts {
+	if timerHz == 0 {
+		timerHz = 667 // one slice ≈ 4M cycles at 2.67 GHz
+	}
+	const (
+		pdBase   = 0x30000 // four page directories
+		ptBase   = 0x34000 // four private-region page tables
+		privVA   = 0x800000
+		privPhys = 0x800000
+		cacheVA  = 0x400000
+		pfCount  = ParamBase + 0x30
+	)
+	return KernelOpts{
+		TimerHz: timerHz,
+		ExtraISRs: map[int]string{
+			// Timer tick: mask IRQ0, account, unmask — the PIC port
+			// accesses that dominate Table 2's Port I/O row. Process
+			// switches happen at the scheduler's own pace (end of a
+			// timeslice in the work loop), not on every tick, as in a
+			// real kernel where CR3 writes outnumber timer interrupts.
+			0x20: `	in al, 0x21
+	or al, 1
+	out 0x21, al
+	in al, 0x21
+	and al, 0xfe
+	out 0x21, al`,
+			// #PF: demand-map the private page of the current process.
+			14: fmt.Sprintf(`	push ebx
+	push ecx
+	push edx
+	mov eax, cr2
+	mov ebx, eax
+	shr ebx, 12
+	and ebx, 0x3ff
+	mov ecx, [cur_proc]
+	mov edx, ecx
+	shl edx, 21
+	add edx, %#x
+	mov eax, ebx
+	shl eax, 12
+	add eax, edx
+	or eax, 3
+	shl ecx, 12
+	add ecx, %#x
+	mov [ecx + ebx*4], eax
+	mov eax, [%#x]
+	inc eax
+	mov [%#x], eax
+	pop edx
+	pop ecx
+	pop ebx`, privPhys, ptBase, pfCount, pfCount),
+			AHCIVector: AHCIISRBody(),
+		},
+		Fragments: AHCIDriverFragment() + `
+mt_on: dd 0
+cur_proc: dd 0
+slice_no: dd 0
+sub_no: dd 0
+csum: dd 0
+seed: dd 123456789
+`,
+		Workload: fmt.Sprintf(`
+	call ahci_init
+	mov dword [%#[7]x], 0
+	; ---- build four process address spaces ----
+	mov edi, %#[1]x
+	mov ecx, 8192
+	xor eax, eax
+zpd:
+	mov [edi], eax
+	add edi, 4
+	dec ecx
+	jnz zpd
+	mov ebx, 0
+pd_fill:
+	mov edi, ebx
+	shl edi, 12
+	add edi, %#[1]x
+	mov dword [edi], 0x83
+	mov dword [edi+4], 0x400083
+	mov eax, ebx
+	shl eax, 12
+	add eax, %#[2]x
+	or eax, 3
+	mov [edi+8], eax
+	mov dword [edi+0xfe8], 0xfeb00083
+	inc ebx
+	cmp ebx, 4
+	jnz pd_fill
+	mov eax, cr4
+	or eax, 0x10
+	mov cr4, eax
+	mov eax, %#[1]x
+	mov cr3, eax
+	mov eax, cr0
+	or eax, 0x80000000
+	mov cr0, eax
+	mov dword [mt_on], 1
+	; ---- timeslice loop ----
+	; A timeslice consists of param+20 subslices; each subslice touches
+	; the page-cache and private working sets and then computes. The
+	; interleaving is what makes warm TLB state valuable: an untagged VM
+	; transition mid-slice forces the next subslice to repay the walks
+	; (the "EPT w/o VPID" delta of Figure 5).
+slice_loop:
+	mov eax, [%#[4]x + 20]
+	test eax, eax
+	jnz have_subs
+	mov eax, 1
+have_subs:
+	mov [sub_no], eax
+sub_loop:
+	; page-cache working set (PSE-mapped region)
+	mov esi, %#[3]x
+	mov ecx, [%#[4]x + 4]
+pc_loop:
+	mov eax, [esi]
+	add [csum], eax
+	add esi, 4096
+	dec ecx
+	jnz pc_loop
+	; private working set (demand-paged 4K pages, per process)
+	mov esi, %#[5]x
+	mov ecx, [%#[4]x + 8]
+priv_loop:
+	mov eax, [esi]
+	inc eax
+	mov [esi], eax
+	add esi, 4096
+	dec ecx
+	jnz priv_loop
+	; compute (divide-latency dominated)
+	mov ecx, [%#[4]x + 12]
+	jecxz fill_done
+fill_loop:
+	mov eax, [seed]
+	xor edx, edx
+	mov ebx, 641
+	div ebx
+	add eax, edx
+	add eax, 12345
+	mov [seed], eax
+	dec ecx
+	jnz fill_loop
+fill_done:
+	mov eax, [sub_no]
+	dec eax
+	mov [sub_no], eax
+	jnz sub_loop
+	mov eax, [slice_no]
+	inc eax
+	mov [slice_no], eax
+	mov [%#[6]x], eax
+	; disk read every 4th slice
+	test eax, 3
+	jnz no_disk
+	cmp dword [%#[4]x + 16], 0
+	jz no_disk
+	mov eax, [slice_no]
+	and eax, 0xff
+	add eax, 10000
+	mov ecx, 32
+	mov edi, 0x600000
+	call ahci_read
+	call ahci_wait
+no_disk:
+	; TLB maintenance a kernel would do (unmap): INVLPG every 2nd slice
+	mov eax, [slice_no]
+	test eax, 1
+	jnz no_inv
+	invlpg [%#[5]x]
+no_inv:
+	; end of timeslice: the scheduler picks the next process
+	; (CR3 reload — the event that makes shadow paging expensive, §5.3)
+	mov ebx, [cur_proc]
+	inc ebx
+	and ebx, 3
+	mov [cur_proc], ebx
+	shl ebx, 12
+	add ebx, %#[1]x
+	mov cr3, ebx
+	mov eax, [slice_no]
+	cmp eax, [%#[4]x]
+	jb slice_loop
+	jmp finish
+`, pdBase, ptBase, cacheVA, ParamBase, privVA, ProgressAddr, pfCount),
+	}
+}
+
+// PDE index 0x3fa (VA 0xfe800000..0xfebfffff) times 4 = 0xfe8: the MMIO
+// window PDE offset used above.

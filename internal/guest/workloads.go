@@ -1,0 +1,220 @@
+package guest
+
+import "fmt"
+
+// Parameter-block addresses: the harness writes workload parameters
+// into guest memory before starting the kernel.
+const (
+	ParamBase = 0x5000
+	// Progress counters the kernels export next to the marker.
+	ProgressAddr = MarkerAddr + 4
+)
+
+// DiskReadKernel builds the Figure 6 workload: sequential reads of a
+// fixed block size through the AHCI driver, one outstanding request at
+// a time (direct I/O, cold cache — §8.2). Parameters at ParamBase:
+//
+//	+0:  sectors per request
+//	+4:  number of requests
+//	+8:  starting LBA
+//	+20: per-request software iterations (the OS block-layer path a real
+//	     kernel runs per request; divide-latency dominated)
+func DiskReadKernel() KernelOpts {
+	return KernelOpts{
+		TimerHz: 100, // background scheduling timer, as a real OS has
+		ExtraISRs: map[int]string{
+			AHCIVector: AHCIISRBody(),
+		},
+		Fragments: AHCIDriverFragment() + "blk_seed: dd 99\n",
+		Workload: fmt.Sprintf(`
+	call ahci_init
+	mov eax, [%#[1]x + 8]
+	mov [cur_lba], eax
+	mov dword [%#[2]x], 0
+disk_loop:
+	mov eax, [cur_lba]
+	mov ecx, [%#[1]x]
+	mov edi, 0x40000
+	call ahci_read
+	call ahci_wait
+	; block-layer path (modeled per-request software cost)
+	mov ecx, [%#[1]x + 20]
+	jecxz blk_done
+blk_loop:
+	mov eax, [blk_seed]
+	xor edx, edx
+	mov ebx, 643
+	div ebx
+	add eax, 7
+	mov [blk_seed], eax
+	dec ecx
+	jnz blk_loop
+blk_done:
+	mov eax, [cur_lba]
+	add eax, [%#[1]x]
+	mov [cur_lba], eax
+	mov eax, [%#[2]x]
+	inc eax
+	mov [%#[2]x], eax
+	cmp eax, [%#[1]x + 4]
+	jnz disk_loop
+	jmp finish
+cur_lba: dd 0
+`, ParamBase, ProgressAddr),
+	}
+}
+
+// DiskChecksumKernel is DiskReadKernel plus a checksum of the data read
+// (so correctness of the whole DMA path is asserted end-to-end).
+// The 32-bit sum of every dword read lands at ParamBase+12.
+func DiskChecksumKernel() KernelOpts {
+	o := DiskReadKernel()
+	o.Workload = fmt.Sprintf(`
+	call ahci_init
+	mov eax, [%#[1]x + 8]
+	mov [cur_lba], eax
+	mov dword [%#[2]x], 0
+	mov dword [%#[1]x + 12], 0
+disk_loop:
+	mov eax, [cur_lba]
+	mov ecx, [%#[1]x]
+	mov edi, 0x40000
+	call ahci_read
+	call ahci_wait
+	; checksum the block
+	mov ecx, [%#[1]x]
+	shl ecx, 7        ; sectors * 512 / 4 dwords
+	mov esi, 0x40000
+	mov edx, [%#[1]x + 12]
+csum:
+	add edx, [esi]
+	add esi, 4
+	dec ecx
+	jnz csum
+	mov [%#[1]x + 12], edx
+	mov eax, [cur_lba]
+	add eax, [%#[1]x]
+	mov [cur_lba], eax
+	mov eax, [%#[2]x]
+	inc eax
+	mov [%#[2]x], eax
+	cmp eax, [%#[1]x + 4]
+	jnz disk_loop
+	jmp finish
+cur_lba: dd 0
+`, ParamBase, ProgressAddr)
+	return o
+}
+
+// DiskWriteReadKernel writes a guest-generated pattern to disk, reads
+// it back into a second buffer and compares — exercising the write
+// direction of the whole stack (vAHCI -> disk server -> host AHCI ->
+// media). Parameters at ParamBase: +0 sectors, +8 LBA. On success the
+// pattern checksum is stored at ParamBase+12 and ParamBase+16 is 1.
+func DiskWriteReadKernel() KernelOpts {
+	return KernelOpts{
+		TimerHz: 100,
+		ExtraISRs: map[int]string{
+			AHCIVector: AHCIISRBody(),
+		},
+		Fragments: AHCIDriverFragment(),
+		Workload: fmt.Sprintf(`
+	call ahci_init
+	; generate the pattern at 0x40000
+	mov edi, 0x40000
+	mov ecx, [%#[1]x]
+	shl ecx, 7
+	mov eax, 0x1337c0de
+gen:
+	mov [edi], eax
+	add eax, 0x9e3779b9
+	add edi, 4
+	dec ecx
+	jnz gen
+	; write it out
+	mov eax, [%#[1]x + 8]
+	mov ecx, [%#[1]x]
+	mov edi, 0x40000
+	call ahci_write
+	call ahci_wait
+	; read it back elsewhere
+	mov eax, [%#[1]x + 8]
+	mov ecx, [%#[1]x]
+	mov edi, 0x60000
+	call ahci_read
+	call ahci_wait
+	; compare and checksum
+	mov esi, 0x40000
+	mov edi, 0x60000
+	mov ecx, [%#[1]x]
+	shl ecx, 7
+	xor edx, edx
+	mov dword [%#[1]x + 16], 1
+cmp_loop:
+	mov eax, [esi]
+	cmp eax, [edi]
+	jz cmp_ok
+	mov dword [%#[1]x + 16], 0
+cmp_ok:
+	add edx, eax
+	add esi, 4
+	add edi, 4
+	dec ecx
+	jnz cmp_loop
+	mov [%#[1]x + 12], edx
+	jmp finish
+`, ParamBase),
+	}
+}
+
+// ComputeKernel builds a pure compute/memory workload used by the
+// microbenchmark-style tests: it walks a memory arena with a stride,
+// doing arithmetic per step. Parameters at ParamBase:
+//
+//	+0: iterations (outer)
+//	+4: arena size in bytes (walked per iteration, 4-byte stride)
+func ComputeKernel(paging, largePages bool, mapMB int) KernelOpts {
+	return buildComputeKernel(paging, largePages, mapMB, false)
+}
+
+// ComputeKernelWithSwitches is ComputeKernel plus a CR3 reload per
+// outer iteration, modeling the address-space switches of a
+// multitasking guest — the events that make shadow paging expensive
+// (§5.3: vTLB flush on CR writes).
+func ComputeKernelWithSwitches(paging, largePages bool, mapMB int) KernelOpts {
+	return buildComputeKernel(paging, largePages, mapMB, true)
+}
+
+func buildComputeKernel(paging, largePages bool, mapMB int, cr3Switch bool) KernelOpts {
+	sw := ""
+	if cr3Switch && paging {
+		sw = "	mov eax, cr3\n	mov cr3, eax\n"
+	}
+	return KernelOpts{
+		Paging:          paging,
+		LargeGuestPages: largePages,
+		MapMB:           mapMB,
+		TimerHz:         100,
+		Workload: fmt.Sprintf(`
+	mov dword [%#[2]x], 0
+	mov ebp, [%#[1]x]
+outer:
+	mov esi, 0x100000
+	mov ecx, [%#[1]x + 4]
+	shr ecx, 2
+	xor eax, eax
+inner:
+	add eax, [esi]
+	mov [esi], eax
+	add esi, 4
+	dec ecx
+	jnz inner
+%[3]s	mov eax, [%#[2]x]
+	inc eax
+	mov [%#[2]x], eax
+	dec ebp
+	jnz outer
+	jmp finish
+`, ParamBase, ProgressAddr, sw),
+	}
+}

@@ -1,0 +1,161 @@
+// Package hw simulates the physical platform NOVA runs on: CPUs with
+// cycle-accurate clocks, physical memory with an MMIO bus, a tagged TLB
+// model, platform devices (AHCI, NIC, PIC, PIT, serial), an IOMMU, and a
+// discrete-event queue that provides virtual time.
+//
+// The paper's system runs on real Intel/AMD hardware; this package is the
+// synthetic substitute. Everything that is an architectural *mechanism*
+// (TLB tagging, nested page walks, DMA descriptor processing, interrupt
+// coalescing) is executed for real; only the raw costs of hardware
+// primitives (a VM transition, a page-walk step) are constants taken from
+// the per-CPU cost models in costmodel.go, which correspond to the
+// hardware-measured lowermost boxes of Figures 8 and 9 of the paper.
+package hw
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a duration or point in virtual time, measured in CPU clock
+// cycles of the simulated platform's reference clock.
+type Cycles uint64
+
+// Clock is a per-CPU cycle counter. All costs charged during simulation
+// accumulate here; benchmark results are derived from clock deltas.
+type Clock struct {
+	now Cycles
+
+	// busy accumulates cycles charged while the CPU was doing
+	// attributable work (as opposed to idling in HLT). CPU-utilization
+	// figures are busy/total.
+	busy Cycles
+}
+
+// Now returns the current virtual time of this clock.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Busy returns the cycles spent on attributable work since creation.
+func (c *Clock) Busy() Cycles { return c.busy }
+
+// Charge advances the clock by n cycles of work.
+func (c *Clock) Charge(n Cycles) {
+	c.now += n
+	c.busy += n
+}
+
+// Idle advances the clock by n cycles without accounting them as work
+// (the CPU is halted or waiting).
+func (c *Clock) Idle(n Cycles) { c.now += n }
+
+// AdvanceTo moves the clock forward to t (idling) if t is in the future.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	When Cycles
+	Do   func()
+
+	index int // heap index; -1 when popped or cancelled
+	seq   uint64
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue orders device completions, timer ticks and other
+// asynchronous hardware activity in virtual time. It is deterministic:
+// events at the same instant fire in scheduling order.
+type EventQueue struct {
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// At schedules do to run at absolute time when and returns the event so
+// the caller may cancel it.
+func (q *EventQueue) At(when Cycles, do func()) *Event {
+	q.seq++
+	e := &Event{When: when, Do: do, seq: q.seq}
+	heap.Push(&q.heap, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.heap, e.index)
+	e.index = -2
+}
+
+// Empty reports whether no events are pending.
+func (q *EventQueue) Empty() bool { return len(q.heap) == 0 }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// NextTime returns the time of the earliest pending event. It panics if
+// the queue is empty; check Empty first.
+func (q *EventQueue) NextTime() Cycles {
+	if len(q.heap) == 0 {
+		panic("hw: NextTime on empty event queue")
+	}
+	return q.heap[0].When
+}
+
+// PopDue fires the earliest event if it is due at or before now.
+// It returns true if an event fired.
+func (q *EventQueue) PopDue(now Cycles) bool {
+	if len(q.heap) == 0 || q.heap[0].When > now {
+		return false
+	}
+	e := heap.Pop(&q.heap).(*Event)
+	e.Do()
+	return true
+}
+
+// String summarizes the queue for debugging.
+func (q *EventQueue) String() string {
+	if q.Empty() {
+		return "eventqueue{empty}"
+	}
+	return fmt.Sprintf("eventqueue{%d pending, next @%d}", q.Len(), q.NextTime())
+}

@@ -1,0 +1,215 @@
+package hw
+
+import "fmt"
+
+// CPUModel identifies one of the processors from Table 1 of the paper.
+type CPUModel int
+
+// The six processors of Table 1.
+const (
+	K8  CPUModel = iota // AMD Opteron 2212, Santa Rosa, 2.0 GHz
+	K10                 // AMD Phenom 9550, Agena, 2.2 GHz
+	YNH                 // Intel Core Duo T2500, Yonah, 2.0 GHz
+	CNR                 // Intel Core2 Duo E6600, Conroe, 2.4 GHz
+	WFD                 // Intel Core2 Duo E8400, Wolfdale, 3.0 GHz
+	BLM                 // Intel Core i7 920, Bloomfield, 2.67 GHz
+)
+
+func (m CPUModel) String() string {
+	switch m {
+	case K8:
+		return "K8"
+	case K10:
+		return "K10"
+	case YNH:
+		return "YNH"
+	case CNR:
+		return "CNR"
+	case WFD:
+		return "WFD"
+	case BLM:
+		return "BLM"
+	}
+	return fmt.Sprintf("CPUModel(%d)", int(m))
+}
+
+// Vendor distinguishes the virtualization extension family.
+type Vendor int
+
+// CPU vendors; Intel CPUs use VT-x (VMCS, VPID), AMD CPUs use SVM
+// (VMCB, ASID).
+const (
+	Intel Vendor = iota
+	AMD
+)
+
+func (v Vendor) String() string {
+	if v == AMD {
+		return "AMD"
+	}
+	return "Intel"
+}
+
+// CostModel captures the hardware-primitive costs of one processor, in
+// cycles. These correspond to the quantities the paper measures directly
+// on hardware (the lowermost boxes of Figures 8 and 9); everything layered
+// above them (IPC path length, vTLB fill work, instruction emulation) is
+// produced by executing this repository's code.
+type CostModel struct {
+	Model     CPUModel
+	Name      string // marketing name, Table 1
+	Core      string // microarchitecture, Table 1
+	Vendor    Vendor
+	FreqMHz   int  // clock frequency
+	HasVPID   bool // tagged hardware TLB for guest entries (VPID/ASID)
+	HasEPT    bool // hardware nested paging (EPT/NPT)
+	LargePage uint32
+
+	// Syscall transition: sysenter + sti + sysexit, the lowermost box of
+	// Figure 8.
+	SyscallEntryExit Cycles
+
+	// VM transition: VM exit + VM resume (world switch), the lowermost
+	// box of Figure 9. TaggedVMTransit applies when VPID/ASID tagging is
+	// enabled (no hardware TLB flush on the transition).
+	VMTransit       Cycles
+	TaggedVMTransit Cycles
+
+	// VMRead is the cost of reading one field from the VMCS. On AMD the
+	// VMCB lives in cacheable memory, making access cheap.
+	VMRead Cycles
+
+	// CacheLineAccess approximates a memory access that misses L1
+	// (page-table entry reads during walks, UTCB copies crossing caches).
+	CacheLineAccess Cycles
+
+	// TLBRefill is the aggregate cost of repopulating the working set of
+	// TLB entries after a full flush — the "TLB effects" box of Figure 8
+	// incurred on every address-space switch because x86 (at the time)
+	// had no tagged TLB for user address spaces.
+	TLBRefill Cycles
+
+	// PageWalkLevel is the cost of one level of a hardware page walk on
+	// a TLB miss (cached walk; EPT walks multiply this per nested level).
+	PageWalkLevel Cycles
+
+	// HostPTLevels is the depth of the host (nested) page table the
+	// hardware walks: 4 on Intel (2M pages with four-level EPT), 2 on
+	// AMD (4M pages with two-level NPT) — §8.1's explanation for the
+	// lower overhead on the Phenom.
+	HostPTLevels int
+
+	// InstructionCost is the base cost of one simple guest instruction.
+	InstructionCost Cycles
+
+	// EmulateInstruction is the base VMM-side software cost of fetching,
+	// decoding, executing and writing back one guest instruction.
+	EmulateInstruction Cycles
+
+	// DeviceModelUpdate is the base VMM-side cost of updating a virtual
+	// device state machine for one intercepted register access.
+	DeviceModelUpdate Cycles
+}
+
+// NsToCycles converts nanoseconds to cycles at this model's frequency.
+func (c *CostModel) NsToCycles(ns float64) Cycles {
+	return Cycles(ns * float64(c.FreqMHz) / 1000)
+}
+
+// CyclesToNs converts cycles to nanoseconds at this model's frequency.
+func (c *CostModel) CyclesToNs(cy Cycles) float64 {
+	return float64(cy) * 1000 / float64(c.FreqMHz)
+}
+
+// CyclesToSeconds converts cycles to seconds at this model's frequency.
+func (c *CostModel) CyclesToSeconds(cy Cycles) float64 {
+	return float64(cy) / (float64(c.FreqMHz) * 1e6)
+}
+
+// VMTransitCost returns the guest<->host round-trip cost with or without
+// TLB tagging enabled.
+func (c *CostModel) VMTransitCost(tagged bool) Cycles {
+	if tagged && c.HasVPID {
+		return c.TaggedVMTransit
+	}
+	return c.VMTransit
+}
+
+// Models returns the cost models for all Table 1 processors, in table
+// order. The calibration targets are the figures of the paper:
+//
+//   - Figure 8 totals (cross-AS IPC): K8 164 ns, K10 152 ns, YNH 192 ns,
+//     CNR 179 ns, WFD 131 ns, BLM 108 ns.
+//   - Figure 9 exit+resume: YNH 2087, CNR 2122, WFD 1324, BLM 1091
+//     (untagged) / 1016 (VPID) cycles; §8.5 quotes 1016 for Bloomfield.
+//   - Figure 9 totals: YNH 1355 ns, CNR 1140 ns, WFD 694 ns,
+//     BLM 527 ns / 491 ns with VPID.
+func Models() []*CostModel {
+	return []*CostModel{
+		{
+			Model: K8, Name: "AMD Opteron 2212", Core: "Santa Rosa (K8)",
+			Vendor: AMD, FreqMHz: 2000, HasVPID: false, HasEPT: false,
+			LargePage:        4 << 20, // 4M pages with 2-level tables
+			SyscallEntryExit: 137, VMTransit: 1850, TaggedVMTransit: 1850,
+			VMRead: 10, CacheLineAccess: 40, TLBRefill: 112, PageWalkLevel: 30, HostPTLevels: 2,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+		{
+			Model: K10, Name: "AMD Phenom 9550", Core: "Agena (K10)",
+			Vendor: AMD, FreqMHz: 2200, HasVPID: true, HasEPT: true,
+			LargePage:        4 << 20,
+			SyscallEntryExit: 124, VMTransit: 1450, TaggedVMTransit: 1150,
+			VMRead: 10, CacheLineAccess: 40, TLBRefill: 131, PageWalkLevel: 28, HostPTLevels: 2,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+		{
+			Model: YNH, Name: "Intel Core Duo T2500", Core: "Yonah (YNH)",
+			Vendor: Intel, FreqMHz: 2000, HasVPID: false, HasEPT: false,
+			LargePage:        2 << 20,
+			SyscallEntryExit: 90, VMTransit: 2087, TaggedVMTransit: 2087,
+			VMRead: 45, CacheLineAccess: 45, TLBRefill: 232, PageWalkLevel: 35, HostPTLevels: 4,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+		{
+			Model: CNR, Name: "Intel Core2 Duo E6600", Core: "Conroe (CNR)",
+			Vendor: Intel, FreqMHz: 2400, HasVPID: false, HasEPT: false,
+			LargePage:        2 << 20,
+			SyscallEntryExit: 151, VMTransit: 2122, TaggedVMTransit: 2122,
+			VMRead: 45, CacheLineAccess: 42, TLBRefill: 220, PageWalkLevel: 32, HostPTLevels: 4,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+		{
+			Model: WFD, Name: "Intel Core2 Duo E8400", Core: "Wolfdale (WFD)",
+			Vendor: Intel, FreqMHz: 3000, HasVPID: false, HasEPT: false,
+			LargePage:        2 << 20,
+			SyscallEntryExit: 137, VMTransit: 1324, TaggedVMTransit: 1324,
+			VMRead: 45, CacheLineAccess: 40, TLBRefill: 201, PageWalkLevel: 30, HostPTLevels: 4,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+		{
+			Model: BLM, Name: "Intel Core i7 920", Core: "Bloomfield (BLM)",
+			Vendor: Intel, FreqMHz: 2670, HasVPID: true, HasEPT: true,
+			LargePage:        2 << 20,
+			SyscallEntryExit: 124, VMTransit: 1091, TaggedVMTransit: 1016,
+			VMRead: 24, CacheLineAccess: 38, TLBRefill: 85, PageWalkLevel: 26, HostPTLevels: 4,
+			InstructionCost: 1, EmulateInstruction: 450, DeviceModelUpdate: 350,
+		},
+	}
+}
+
+// ModelByName returns the cost model for the given CPUModel.
+func ModelByName(m CPUModel) *CostModel {
+	for _, c := range Models() {
+		if c.Model == m {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("hw: unknown CPU model %v", m))
+}
+
+// Bloomfield returns the Core i7 920 model used for the paper's primary
+// evaluation machine (DX58SO board, 3 GB DDR3).
+func Bloomfield() *CostModel { return ModelByName(BLM) }
+
+// Phenom returns the AMD Phenom model used in the paper's AMD runs.
+func Phenom() *CostModel { return ModelByName(K10) }

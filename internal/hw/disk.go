@@ -1,0 +1,118 @@
+package hw
+
+import "fmt"
+
+// SectorSize is the logical block size of the simulated SATA disk.
+const SectorSize = 512
+
+// Disk models the paper's 250 GB Hitachi SATA drive: a sparse backing
+// store plus a service-time model. Sequential reads are limited both by
+// a maximum request rate (command overhead — dominant for small blocks,
+// giving Figure 6's flat region below 8 KiB) and by media bandwidth
+// (dominant for large blocks, giving the linear fall-off).
+type Disk struct {
+	Sectors uint64 // capacity in 512-byte sectors
+
+	// BandwidthMBs is the sustained media transfer rate in MB/s.
+	BandwidthMBs float64
+	// MaxIOPS bounds the request rate for small transfers.
+	MaxIOPS float64
+
+	freqMHz int
+
+	written map[uint64][]byte // sparse overlay of written sectors
+
+	// Counters.
+	Reads, Writes             uint64
+	BytesRead, BytesWritten   uint64
+	BusyUntil                 Cycles // media busy horizon for queuing
+	TotalServiceCycles        Cycles
+	TotalQueuedRequestsServed uint64
+}
+
+// NewDisk creates a disk of the given capacity. freqMHz converts service
+// times to cycles of the platform clock.
+func NewDisk(sectors uint64, bandwidthMBs, maxIOPS float64, freqMHz int) *Disk {
+	return &Disk{
+		Sectors:      sectors,
+		BandwidthMBs: bandwidthMBs,
+		MaxIOPS:      maxIOPS,
+		freqMHz:      freqMHz,
+		written:      make(map[uint64][]byte),
+	}
+}
+
+// synthSector fills b with the deterministic content of sector lba:
+// reproducible pseudo-data standing in for a real filesystem image.
+func synthSector(lba uint64, b []byte) {
+	x := lba*2654435761 + 0x9e3779b9
+	for i := range b {
+		x = x*6364136223846793005 + 1442695040888963407
+		b[i] = byte(x >> 33)
+	}
+}
+
+// ReadSectors copies count sectors starting at lba into buf.
+func (d *Disk) ReadSectors(lba uint64, count int, buf []byte) error {
+	if len(buf) < count*SectorSize {
+		return fmt.Errorf("hw: disk read buffer too small: %d < %d", len(buf), count*SectorSize)
+	}
+	if lba+uint64(count) > d.Sectors {
+		return fmt.Errorf("hw: disk read [%d,%d) beyond capacity %d", lba, lba+uint64(count), d.Sectors)
+	}
+	for i := 0; i < count; i++ {
+		dst := buf[i*SectorSize : (i+1)*SectorSize]
+		if s, ok := d.written[lba+uint64(i)]; ok {
+			copy(dst, s)
+		} else {
+			synthSector(lba+uint64(i), dst)
+		}
+	}
+	d.Reads++
+	d.BytesRead += uint64(count) * SectorSize
+	return nil
+}
+
+// WriteSectors stores count sectors from buf at lba.
+func (d *Disk) WriteSectors(lba uint64, count int, buf []byte) error {
+	if len(buf) < count*SectorSize {
+		return fmt.Errorf("hw: disk write buffer too small: %d < %d", len(buf), count*SectorSize)
+	}
+	if lba+uint64(count) > d.Sectors {
+		return fmt.Errorf("hw: disk write [%d,%d) beyond capacity %d", lba, lba+uint64(count), d.Sectors)
+	}
+	for i := 0; i < count; i++ {
+		s := make([]byte, SectorSize)
+		copy(s, buf[i*SectorSize:])
+		d.written[lba+uint64(i)] = s
+	}
+	d.Writes++
+	d.BytesWritten += uint64(count) * SectorSize
+	return nil
+}
+
+// ServiceTime returns how many cycles a request of the given byte size
+// occupies the media: max(command overhead, transfer time).
+func (d *Disk) ServiceTime(bytes int) Cycles {
+	perReq := 1e6 / d.MaxIOPS                             // µs
+	xfer := float64(bytes) / (d.BandwidthMBs * 1e6) * 1e6 // µs
+	t := perReq
+	if xfer > t {
+		t = xfer
+	}
+	return Cycles(t * float64(d.freqMHz))
+}
+
+// Schedule returns the completion time for a request issued at now,
+// honouring media serialization (a request queued behind another waits).
+func (d *Disk) Schedule(now Cycles, bytes int) Cycles {
+	start := now
+	if d.BusyUntil > start {
+		start = d.BusyUntil
+	}
+	svc := d.ServiceTime(bytes)
+	d.BusyUntil = start + svc
+	d.TotalServiceCycles += svc
+	d.TotalQueuedRequestsServed++
+	return d.BusyUntil
+}

@@ -1,0 +1,169 @@
+package hw
+
+import "testing"
+
+func TestIOMMUUnattachedDeviceBlocked(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	buf := make([]byte, 16)
+	if err := u.DMARead(BDF(0, 1, 0), 0x1000, buf); err == nil {
+		t.Error("unattached device DMA succeeded")
+	}
+	if u.DMABlocks != 1 || len(u.Faults) != 1 {
+		t.Errorf("blocks=%d faults=%d", u.DMABlocks, len(u.Faults))
+	}
+}
+
+func TestIOMMUTranslatedDMA(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dom := NewIOMMUDomain("vm0")
+	// Bus 0x10000 -> host 0x40000, read+write.
+	if err := dom.Map(0x10000, 0x40000, PageSize, IOMMURead|IOMMUWrite); err != nil {
+		t.Fatal(err)
+	}
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+
+	mem.WriteBytes(0x40010, []byte("payload"))
+	buf := make([]byte, 7)
+	if err := u.DMARead(dev, 0x10010, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Errorf("read %q", buf)
+	}
+	if err := u.DMAWrite(dev, 0x10020, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem.ReadBytes(0x40020, 3)) != "xyz" {
+		t.Error("write not translated")
+	}
+}
+
+func TestIOMMUUnmappedPageFaults(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dom := NewIOMMUDomain("vm0")
+	dom.Map(0x10000, 0x40000, PageSize, IOMMURead|IOMMUWrite)
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+	if err := u.DMARead(dev, 0x20000, make([]byte, 4)); err == nil {
+		t.Error("DMA to unmapped bus address succeeded")
+	}
+}
+
+func TestIOMMUPermissionEnforced(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dom := NewIOMMUDomain("vm0")
+	dom.Map(0x10000, 0x40000, PageSize, IOMMURead) // read-only
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+	if err := u.DMARead(dev, 0x10000, make([]byte, 4)); err != nil {
+		t.Errorf("read through read-only mapping failed: %v", err)
+	}
+	if err := u.DMAWrite(dev, 0x10000, []byte{1}); err == nil {
+		t.Error("write through read-only mapping succeeded")
+	}
+}
+
+func TestIOMMUProtectsHypervisorRange(t *testing.T) {
+	// §4.2: "the hypervisor blocks DMA transfers to its own memory
+	// region" — even a mapping that somehow points there is refused.
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	u.BlockRange(0, 0x10000) // hypervisor occupies the first 64K
+	dom := NewIOMMUDomain("evil")
+	dom.Map(0x0, 0x0, PageSize, IOMMURead|IOMMUWrite) // points into hypervisor
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+	if err := u.DMAWrite(dev, 0x0, []byte{0x90}); err == nil {
+		t.Error("DMA into hypervisor range succeeded")
+	}
+}
+
+func TestIOMMUCrossPageDMA(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dom := NewIOMMUDomain("vm0")
+	// Two bus pages mapping to two discontiguous host pages.
+	dom.Map(0x10000, 0x40000, PageSize, IOMMURead|IOMMUWrite)
+	dom.Map(0x11000, 0x80000, PageSize, IOMMURead|IOMMUWrite)
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	if err := u.DMAWrite(dev, 0x10ff0, data); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem.ReadBytes(0x40ff0, 16)) != string(data[:16]) {
+		t.Error("first page content wrong")
+	}
+	if string(mem.ReadBytes(0x80000, 16)) != string(data[16:]) {
+		t.Error("second page content wrong")
+	}
+}
+
+func TestIOMMUInterruptRemapping(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dev := BDF(0, 2, 0)
+	u.AllowVector(dev, 0x2b)
+	if !u.RemapInterrupt(dev, 0x2b) {
+		t.Error("allowed vector blocked")
+	}
+	if u.RemapInterrupt(dev, 0x30) {
+		t.Error("disallowed vector passed")
+	}
+	if len(u.Faults) != 1 || !u.Faults[0].IsIRQ {
+		t.Errorf("faults = %+v", u.Faults)
+	}
+}
+
+func TestIOMMUDetach(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	u := NewIOMMU(mem)
+	dom := NewIOMMUDomain("vm0")
+	dom.Map(0x10000, 0x40000, PageSize, IOMMURead)
+	dev := BDF(0, 2, 0)
+	u.Attach(dev, dom)
+	if err := u.DMARead(dev, 0x10000, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	u.Detach(dev)
+	if err := u.DMARead(dev, 0x10000, make([]byte, 4)); err == nil {
+		t.Error("detached device DMA succeeded")
+	}
+}
+
+func TestIOMMUDomainUnmap(t *testing.T) {
+	dom := NewIOMMUDomain("d")
+	dom.Map(0x0, 0x1000, 2*PageSize, IOMMURead)
+	if _, ok := dom.Translate(0x1000, IOMMURead); !ok {
+		t.Fatal("mapped page not translatable")
+	}
+	dom.Unmap(0x1000, PageSize)
+	if _, ok := dom.Translate(0x1000, IOMMURead); ok {
+		t.Error("unmapped page still translatable")
+	}
+	if _, ok := dom.Translate(0x0, IOMMURead); !ok {
+		t.Error("neighbouring page lost")
+	}
+}
+
+func TestIOMMUMapAlignmentChecked(t *testing.T) {
+	dom := NewIOMMUDomain("d")
+	if err := dom.Map(0x10, 0x1000, PageSize, IOMMURead); err == nil {
+		t.Error("misaligned map accepted")
+	}
+}
+
+func TestBDFFormatting(t *testing.T) {
+	d := BDF(0, 31, 2)
+	if d.String() != "00:1f.2" {
+		t.Errorf("BDF string = %q", d.String())
+	}
+}

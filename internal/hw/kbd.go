@@ -1,0 +1,72 @@
+package hw
+
+// I8042 models the PC keyboard controller (ports 0x60/0x64) far enough
+// for BIOS keyboard services and polling guests: injected scancodes
+// appear in the output buffer and optionally raise IRQ 1.
+type I8042 struct {
+	queue []byte
+	raise func()
+
+	status  uint8
+	command uint8
+
+	Reads  uint64
+	Drops  uint64
+	Events uint64
+}
+
+// NewI8042 creates the controller; raise (may be nil) is invoked when a
+// scancode becomes available.
+func NewI8042(raise func()) *I8042 {
+	return &I8042{raise: raise}
+}
+
+// Inject queues scancodes as if keys were pressed.
+func (k *I8042) Inject(scancodes ...byte) {
+	for _, sc := range scancodes {
+		if len(k.queue) >= 16 {
+			k.Drops++
+			continue
+		}
+		k.queue = append(k.queue, sc)
+		k.Events++
+	}
+	if len(k.queue) > 0 && k.raise != nil {
+		k.raise()
+	}
+}
+
+// Pending reports whether a scancode is available.
+func (k *I8042) Pending() bool { return len(k.queue) > 0 }
+
+// PortRead implements IOPortHandler.
+func (k *I8042) PortRead(port uint16, size int) uint32 {
+	switch port {
+	case 0x60:
+		k.Reads++
+		if len(k.queue) == 0 {
+			return 0
+		}
+		sc := k.queue[0]
+		k.queue = k.queue[1:]
+		if len(k.queue) > 0 && k.raise != nil {
+			k.raise()
+		}
+		return uint32(sc)
+	case 0x64: // status: OBF when data pending, system flag set
+		st := uint32(0x04)
+		if len(k.queue) > 0 {
+			st |= 0x01
+		}
+		return st
+	}
+	return 0xff
+}
+
+// PortWrite implements IOPortHandler. Controller commands are accepted
+// and, where they expect data, consumed; none change modeled behaviour.
+func (k *I8042) PortWrite(port uint16, size int, val uint32) {
+	if port == 0x64 {
+		k.command = uint8(val)
+	}
+}

@@ -1,0 +1,167 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the base (small) page size of the simulated platform.
+const PageSize = 4096
+
+// PhysAddr is a host-physical address.
+type PhysAddr uint64
+
+// MMIOHandler models a device's memory-mapped register window. Reads and
+// writes are of size 1, 2 or 4 bytes, offset-relative to the region base.
+type MMIOHandler interface {
+	MMIORead(off uint32, size int) uint32
+	MMIOWrite(off uint32, size int, val uint32)
+}
+
+type mmioRegion struct {
+	base    PhysAddr
+	size    uint64
+	handler MMIOHandler
+	name    string
+}
+
+// Memory is the platform's physical memory plus the MMIO address space.
+// Device windows are claimed with MapMMIO; ordinary loads and stores to
+// those ranges are routed to the device handler.
+type Memory struct {
+	ram     []byte
+	regions []mmioRegion // sorted by base
+}
+
+// NewMemory allocates size bytes of physical RAM.
+func NewMemory(size uint64) *Memory {
+	return &Memory{ram: make([]byte, size)}
+}
+
+// Size returns the amount of RAM in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.ram)) }
+
+// MapMMIO registers handler for the physical range [base, base+size).
+// The range must not overlap RAM-backed addresses in use or another
+// region.
+func (m *Memory) MapMMIO(name string, base PhysAddr, size uint64, handler MMIOHandler) error {
+	for _, r := range m.regions {
+		if base < r.base+PhysAddr(r.size) && r.base < base+PhysAddr(size) {
+			return fmt.Errorf("hw: MMIO region %s [%#x,%#x) overlaps %s", name, base, uint64(base)+size, r.name)
+		}
+	}
+	m.regions = append(m.regions, mmioRegion{base: base, size: size, handler: handler, name: name})
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].base < m.regions[j].base })
+	return nil
+}
+
+// MMIOAt returns the handler covering addr, if any.
+func (m *Memory) MMIOAt(addr PhysAddr) (MMIOHandler, uint32, bool) {
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].base+PhysAddr(m.regions[i].size) > addr
+	})
+	if i < len(m.regions) && addr >= m.regions[i].base {
+		return m.regions[i].handler, uint32(addr - m.regions[i].base), true
+	}
+	return nil, 0, false
+}
+
+// IsMMIO reports whether addr falls inside a registered device window.
+func (m *Memory) IsMMIO(addr PhysAddr) bool {
+	_, _, ok := m.MMIOAt(addr)
+	return ok
+}
+
+func (m *Memory) checkRAM(addr PhysAddr, n int) {
+	if uint64(addr)+uint64(n) > uint64(len(m.ram)) {
+		panic(fmt.Sprintf("hw: physical access [%#x,%#x) beyond RAM size %#x", addr, uint64(addr)+uint64(n), len(m.ram)))
+	}
+}
+
+// Read8 loads one byte of physical memory, routing to MMIO if mapped.
+func (m *Memory) Read8(addr PhysAddr) uint8 {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		return uint8(h.MMIORead(off, 1))
+	}
+	m.checkRAM(addr, 1)
+	return m.ram[addr]
+}
+
+// Read16 loads a little-endian 16-bit value.
+func (m *Memory) Read16(addr PhysAddr) uint16 {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		return uint16(h.MMIORead(off, 2))
+	}
+	m.checkRAM(addr, 2)
+	return binary.LittleEndian.Uint16(m.ram[addr:])
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (m *Memory) Read32(addr PhysAddr) uint32 {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		return h.MMIORead(off, 4)
+	}
+	m.checkRAM(addr, 4)
+	return binary.LittleEndian.Uint32(m.ram[addr:])
+}
+
+// Read64 loads a little-endian 64-bit value from RAM (not MMIO).
+func (m *Memory) Read64(addr PhysAddr) uint64 {
+	m.checkRAM(addr, 8)
+	return binary.LittleEndian.Uint64(m.ram[addr:])
+}
+
+// Write8 stores one byte, routing to MMIO if mapped.
+func (m *Memory) Write8(addr PhysAddr, v uint8) {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		h.MMIOWrite(off, 1, uint32(v))
+		return
+	}
+	m.checkRAM(addr, 1)
+	m.ram[addr] = v
+}
+
+// Write16 stores a little-endian 16-bit value.
+func (m *Memory) Write16(addr PhysAddr, v uint16) {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		h.MMIOWrite(off, 2, uint32(v))
+		return
+	}
+	m.checkRAM(addr, 2)
+	binary.LittleEndian.PutUint16(m.ram[addr:], v)
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (m *Memory) Write32(addr PhysAddr, v uint32) {
+	if h, off, ok := m.MMIOAt(addr); ok {
+		h.MMIOWrite(off, 4, v)
+		return
+	}
+	m.checkRAM(addr, 4)
+	binary.LittleEndian.PutUint32(m.ram[addr:], v)
+}
+
+// Write64 stores a little-endian 64-bit value to RAM (not MMIO).
+func (m *Memory) Write64(addr PhysAddr, v uint64) {
+	m.checkRAM(addr, 8)
+	binary.LittleEndian.PutUint64(m.ram[addr:], v)
+}
+
+// ReadBytes copies n bytes of RAM starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr PhysAddr, n int) []byte {
+	m.checkRAM(addr, n)
+	out := make([]byte, n)
+	copy(out, m.ram[addr:])
+	return out
+}
+
+// WriteBytes copies b into RAM at addr.
+func (m *Memory) WriteBytes(addr PhysAddr, b []byte) {
+	m.checkRAM(addr, len(b))
+	copy(m.ram[addr:], b)
+}
+
+// RAM exposes the raw backing slice for DMA engines. Callers must respect
+// region boundaries; this bypasses MMIO routing intentionally.
+func (m *Memory) RAM() []byte { return m.ram }

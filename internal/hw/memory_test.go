@@ -1,0 +1,142 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWriteWidths(t *testing.T) {
+	m := NewMemory(1 << 20)
+	m.Write8(0x100, 0xab)
+	if got := m.Read8(0x100); got != 0xab {
+		t.Errorf("Read8 = %#x", got)
+	}
+	m.Write16(0x200, 0x1234)
+	if got := m.Read16(0x200); got != 0x1234 {
+		t.Errorf("Read16 = %#x", got)
+	}
+	m.Write32(0x300, 0xdeadbeef)
+	if got := m.Read32(0x300); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	m.Write64(0x400, 0x0123456789abcdef)
+	if got := m.Read64(0x400); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory(4096)
+	m.Write32(0, 0x11223344)
+	if m.Read8(0) != 0x44 || m.Read8(3) != 0x11 {
+		t.Errorf("not little-endian: %#x %#x", m.Read8(0), m.Read8(3))
+	}
+}
+
+// quickMem is a reusable memory for the property test.
+var quickMem = NewMemory(1 << 20)
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	// Property: any 32-bit value written at any in-range aligned address
+	// reads back identically.
+	f := func(off uint16, v uint32) bool {
+		addr := PhysAddr(off) * 4
+		quickMem.Write32(addr, v)
+		return quickMem.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type testMMIO struct {
+	lastOff  uint32
+	lastVal  uint32
+	lastSize int
+	readVal  uint32
+}
+
+func (d *testMMIO) MMIORead(off uint32, size int) uint32 {
+	d.lastOff, d.lastSize = off, size
+	return d.readVal
+}
+func (d *testMMIO) MMIOWrite(off uint32, size int, val uint32) {
+	d.lastOff, d.lastSize, d.lastVal = off, size, val
+}
+
+func TestMemoryMMIORouting(t *testing.T) {
+	m := NewMemory(1 << 20)
+	dev := &testMMIO{readVal: 0xcafe}
+	if err := m.MapMMIO("dev", 0xf0000000, 0x1000, dev); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsMMIO(0xf0000010) {
+		t.Error("IsMMIO false inside region")
+	}
+	if m.IsMMIO(0xf0001000) {
+		t.Error("IsMMIO true past region end")
+	}
+	if got := m.Read32(0xf0000010); got != 0xcafe {
+		t.Errorf("MMIO read = %#x", got)
+	}
+	if dev.lastOff != 0x10 || dev.lastSize != 4 {
+		t.Errorf("MMIO read routed to off=%#x size=%d", dev.lastOff, dev.lastSize)
+	}
+	m.Write16(0xf0000020, 0x55aa)
+	if dev.lastOff != 0x20 || dev.lastVal != 0x55aa || dev.lastSize != 2 {
+		t.Errorf("MMIO write routed to off=%#x val=%#x size=%d", dev.lastOff, dev.lastVal, dev.lastSize)
+	}
+}
+
+func TestMemoryMMIOOverlapRejected(t *testing.T) {
+	m := NewMemory(1 << 20)
+	dev := &testMMIO{}
+	if err := m.MapMMIO("a", 0xf0000000, 0x1000, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapMMIO("b", 0xf0000800, 0x1000, dev); err == nil {
+		t.Error("overlapping MMIO map accepted")
+	}
+}
+
+func TestMemoryBytesHelpers(t *testing.T) {
+	m := NewMemory(4096)
+	data := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(100, data)
+	got := m.ReadBytes(100, 5)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("ReadBytes[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestMemoryOutOfRangePanics(t *testing.T) {
+	m := NewMemory(4096)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	m.Read32(4094)
+}
+
+func TestIOPortsRouting(t *testing.T) {
+	p := NewIOPorts()
+	s := NewSerial8250(0x3f8)
+	if err := p.Map("serial", 0x3f8, 0x3ff, s); err != nil {
+		t.Fatal(err)
+	}
+	p.Write(0x3f8, 1, 'X')
+	if s.Output() != "X" {
+		t.Errorf("serial output = %q", s.Output())
+	}
+	// Unmapped port floats high and drops writes.
+	if got := p.Read(0x80, 1); got != 0xff {
+		t.Errorf("unmapped port read = %#x", got)
+	}
+	p.Write(0x80, 1, 0x42) // must not panic
+	if err := p.Map("overlap", 0x3f0, 0x3f8, s); err == nil {
+		t.Error("overlapping port map accepted")
+	}
+}

@@ -1,0 +1,322 @@
+package hw
+
+import "encoding/binary"
+
+// NIC register offsets (e1000-flavoured subset).
+const (
+	nicCTRL   = 0x0000
+	nicSTATUS = 0x0008
+	nicICR    = 0x00c0 // interrupt cause, read-to-clear
+	nicITR    = 0x00c4 // interrupt throttle (min interval, 256ns units)
+	nicIMS    = 0x00d0
+	nicIMC    = 0x00d8
+	nicRCTL   = 0x0100
+	nicRDBAL  = 0x2800
+	nicRDBAH  = 0x2804
+	nicRDLEN  = 0x2808
+	nicRDH    = 0x2810
+	nicRDT    = 0x2818
+)
+
+// Interrupt cause bits.
+const (
+	icrRXT0 = 1 << 7 // receiver timer / packet received
+)
+
+// RCTL bits.
+const (
+	rctlEN   = 1 << 1
+	rctlBSEX = 1 << 25 // buffer size extension
+)
+
+// bufSize decodes the receive buffer size from RCTL (BSIZE bits 16-17,
+// extended by BSEX), as on the real controller. Packets longer than the
+// buffer are truncated — drivers must configure jumbo-capable buffers
+// for jumbo frames.
+func (n *NIC) bufSize() int {
+	bsize := n.rctl >> 16 & 3
+	if n.rctl&rctlBSEX != 0 {
+		switch bsize {
+		case 1:
+			return 16384
+		case 2:
+			return 8192
+		case 3:
+			return 4096
+		}
+		return 16384
+	}
+	switch bsize {
+	case 1:
+		return 1024
+	case 2:
+		return 512
+	case 3:
+		return 256
+	}
+	return 2048
+}
+
+// NICStats counts device activity for the Figure 7 analysis.
+type NICStats struct {
+	PacketsReceived uint64
+	PacketsDropped  uint64
+	BytesReceived   uint64
+	IRQs            uint64
+	IRQsCoalesced   uint64
+	MMIOReads       uint64
+	MMIOWrites      uint64
+}
+
+// NIC models a descriptor-ring gigabit Ethernet controller in the style
+// of the Intel 82567 used in the paper: received packets are DMA'd into
+// ring buffers and completion interrupts are rate-limited by hardware
+// interrupt coalescing — the mechanism that caps Figure 7's interrupt
+// rate at roughly 20000 interrupts per second.
+type NIC struct {
+	Dev   DeviceID
+	dma   DMABus
+	queue *EventQueue
+	clock func() Cycles
+	raise func()
+
+	freqMHz int
+
+	ctrl  uint32
+	icr   uint32
+	ims   uint32
+	rctl  uint32
+	rdba  uint64
+	rdlen uint32
+	rdh   uint32
+	rdt   uint32
+
+	// Coalescing state: a pending interrupt fires when the throttle
+	// window expires.
+	itrCycles   Cycles // min cycles between interrupts
+	lastIRQ     Cycles
+	everFired   bool
+	irqPending  bool
+	irqDeferred *Event
+
+	Stats NICStats
+}
+
+// NewNIC creates the controller; coalesceHz caps the interrupt rate
+// (0 disables coalescing).
+func NewNIC(dev DeviceID, dma DMABus, queue *EventQueue, clock func() Cycles, freqMHz int, coalesceHz int, raise func()) *NIC {
+	n := &NIC{Dev: dev, dma: dma, queue: queue, clock: clock, freqMHz: freqMHz, raise: raise}
+	if coalesceHz > 0 {
+		n.itrCycles = Cycles(uint64(freqMHz) * 1e6 / uint64(coalesceHz))
+	}
+	return n
+}
+
+// SetDMA replaces the DMA path (IOMMU interposition).
+func (n *NIC) SetDMA(dma DMABus) { n.dma = dma }
+
+// SetCoalesceHz reconfigures the interrupt rate cap.
+func (n *NIC) SetCoalesceHz(hz int) {
+	if hz <= 0 {
+		n.itrCycles = 0
+		return
+	}
+	n.itrCycles = Cycles(uint64(n.freqMHz) * 1e6 / uint64(hz))
+}
+
+// ringSlots returns the number of descriptors in the ring.
+func (n *NIC) ringSlots() uint32 { return n.rdlen / 16 }
+
+// Receive delivers one packet from the wire. It returns false if the
+// ring had no free descriptor (packet dropped).
+func (n *NIC) Receive(pkt []byte) bool {
+	if n.rctl&rctlEN == 0 || n.ringSlots() == 0 {
+		n.Stats.PacketsDropped++
+		return false
+	}
+	next := (n.rdh + 1) % n.ringSlots()
+	if n.rdh == n.rdt { // ring empty of software-owned descriptors
+		n.Stats.PacketsDropped++
+		return false
+	}
+	// Fetch descriptor at RDH.
+	descAddr := n.rdba + uint64(n.rdh)*16
+	var desc [16]byte
+	if err := n.dma.DMARead(n.Dev, descAddr, desc[:]); err != nil {
+		n.Stats.PacketsDropped++
+		return false
+	}
+	bufAddr := binary.LittleEndian.Uint64(desc[0:])
+	data := pkt
+	if max := n.bufSize(); len(data) > max {
+		data = data[:max] // hardware truncation at the buffer boundary
+	}
+	if err := n.dma.DMAWrite(n.Dev, bufAddr, data); err != nil {
+		n.Stats.PacketsDropped++
+		return false
+	}
+	// Write back: length, status DD|EOP.
+	binary.LittleEndian.PutUint16(desc[8:], uint16(len(data)))
+	desc[12] = 0x03
+	if err := n.dma.DMAWrite(n.Dev, descAddr, desc[:]); err != nil {
+		n.Stats.PacketsDropped++
+		return false
+	}
+	n.rdh = next
+	n.Stats.PacketsReceived++
+	n.Stats.BytesReceived += uint64(len(pkt))
+	n.icr |= icrRXT0
+	n.interrupt()
+	return true
+}
+
+// interrupt asserts the line, subject to coalescing.
+func (n *NIC) interrupt() {
+	if n.icr&n.ims == 0 {
+		return
+	}
+	now := n.clock()
+	if n.itrCycles == 0 || !n.everFired || now >= n.lastIRQ+n.itrCycles {
+		n.fireIRQ(now)
+		return
+	}
+	// Within the throttle window: defer to the window edge, merging
+	// with any already-deferred interrupt.
+	n.Stats.IRQsCoalesced++
+	if n.irqPending {
+		return
+	}
+	n.irqPending = true
+	n.irqDeferred = n.queue.At(n.lastIRQ+n.itrCycles, func() {
+		n.irqPending = false
+		n.irqDeferred = nil
+		if n.icr&n.ims != 0 {
+			n.fireIRQ(n.clock())
+		}
+	})
+}
+
+func (n *NIC) fireIRQ(now Cycles) {
+	n.lastIRQ = now
+	n.everFired = true
+	n.Stats.IRQs++
+	n.raise()
+}
+
+// MMIORead implements MMIOHandler.
+func (n *NIC) MMIORead(off uint32, size int) uint32 {
+	n.Stats.MMIOReads++
+	switch off {
+	case nicCTRL:
+		return n.ctrl
+	case nicSTATUS:
+		return 0x80080783 // link up, full duplex, 1000 Mb/s
+	case nicICR:
+		v := n.icr
+		n.icr = 0 // read-to-clear
+		return v
+	case nicITR:
+		if n.itrCycles == 0 {
+			return 0
+		}
+		return uint32(uint64(n.itrCycles) * 1000 / uint64(n.freqMHz) / 256 * 1000)
+	case nicIMS:
+		return n.ims
+	case nicRCTL:
+		return n.rctl
+	case nicRDBAL:
+		return uint32(n.rdba)
+	case nicRDBAH:
+		return uint32(n.rdba >> 32)
+	case nicRDLEN:
+		return n.rdlen
+	case nicRDH:
+		return n.rdh
+	case nicRDT:
+		return n.rdt
+	}
+	return 0
+}
+
+// MMIOWrite implements MMIOHandler.
+func (n *NIC) MMIOWrite(off uint32, size int, val uint32) {
+	n.Stats.MMIOWrites++
+	switch off {
+	case nicCTRL:
+		n.ctrl = val
+	case nicIMS:
+		n.ims |= val
+	case nicIMC:
+		n.ims &^= val
+	case nicRCTL:
+		n.rctl = val
+	case nicRDBAL:
+		n.rdba = n.rdba&^0xffffffff | uint64(val)
+	case nicRDBAH:
+		n.rdba = n.rdba&0xffffffff | uint64(val)<<32
+	case nicRDLEN:
+		n.rdlen = val
+	case nicRDH:
+		n.rdh = val
+	case nicRDT:
+		n.rdt = val
+	}
+}
+
+// PacketSource feeds a NIC with a constant-bandwidth packet stream shaped
+// by a token bucket — the sender configuration of the paper's Netperf
+// benchmark (§8.3).
+type PacketSource struct {
+	nic     *NIC
+	queue   *EventQueue
+	clock   func() Cycles
+	freqMHz int
+
+	packetBytes int
+	gapCycles   Cycles
+	remaining   uint64
+	stopped     bool
+
+	Sent uint64
+}
+
+// NewPacketSource creates a source that will deliver `count` packets of
+// `packetBytes` each at `mbitPerSec` to nic.
+func NewPacketSource(nic *NIC, queue *EventQueue, clock func() Cycles, freqMHz int, packetBytes int, mbitPerSec float64, count uint64) *PacketSource {
+	bitsPerPacket := float64(packetBytes * 8)
+	pps := mbitPerSec * 1e6 / bitsPerPacket
+	gap := Cycles(float64(freqMHz) * 1e6 / pps)
+	if gap == 0 {
+		gap = 1
+	}
+	return &PacketSource{
+		nic: nic, queue: queue, clock: clock, freqMHz: freqMHz,
+		packetBytes: packetBytes, gapCycles: gap, remaining: count,
+	}
+}
+
+// Start schedules the first arrival.
+func (s *PacketSource) Start() { s.scheduleNext(s.clock() + s.gapCycles) }
+
+// Stop halts further arrivals.
+func (s *PacketSource) Stop() { s.stopped = true }
+
+// Done reports whether all packets have been delivered.
+func (s *PacketSource) Done() bool { return s.remaining == 0 || s.stopped }
+
+func (s *PacketSource) scheduleNext(at Cycles) {
+	if s.remaining == 0 || s.stopped {
+		return
+	}
+	s.queue.At(at, func() {
+		if s.stopped {
+			return
+		}
+		pkt := make([]byte, s.packetBytes)
+		binary.LittleEndian.PutUint64(pkt, s.Sent)
+		s.nic.Receive(pkt)
+		s.Sent++
+		s.remaining--
+		s.scheduleNext(at + s.gapCycles)
+	})
+}

@@ -1,0 +1,139 @@
+package hw
+
+import "testing"
+
+// initPIC programs the PC-conventional ICW sequence: master base 0x20,
+// slave base 0x28, all lines unmasked.
+func initPIC(p *I8259) {
+	p.PortWrite(0x20, 1, 0x11) // ICW1
+	p.PortWrite(0x21, 1, 0x20) // ICW2: master base
+	p.PortWrite(0x21, 1, 0x04) // ICW3
+	p.PortWrite(0x21, 1, 0x01) // ICW4
+	p.PortWrite(0xa0, 1, 0x11)
+	p.PortWrite(0xa1, 1, 0x28) // slave base
+	p.PortWrite(0xa1, 1, 0x02)
+	p.PortWrite(0xa1, 1, 0x01)
+	p.PortWrite(0x21, 1, 0x00) // unmask all
+	p.PortWrite(0xa1, 1, 0x00)
+}
+
+func TestPICRaiseAcknowledgeEOI(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.RaiseIRQ(0)
+	if !p.HasPending() {
+		t.Fatal("no pending after raise")
+	}
+	vec, ok := p.Acknowledge()
+	if !ok || vec != 0x20 {
+		t.Fatalf("ack = %#x, %v; want 0x20", vec, ok)
+	}
+	// In service: same line cannot re-fire until EOI.
+	p.RaiseIRQ(0)
+	if _, ok := p.Acknowledge(); ok {
+		t.Error("re-acknowledged IRQ0 while in service")
+	}
+	p.PortWrite(0x20, 1, 0x20) // EOI
+	vec, ok = p.Acknowledge()
+	if !ok || vec != 0x20 {
+		t.Errorf("post-EOI ack = %#x, %v", vec, ok)
+	}
+}
+
+func TestPICPriority(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.RaiseIRQ(4)
+	p.RaiseIRQ(1)
+	vec, _ := p.Acknowledge()
+	if vec != 0x21 {
+		t.Errorf("first ack = %#x, want IRQ1 (0x21)", vec)
+	}
+	// IRQ1 in service blocks IRQ4 (lower priority)? No: lower priority
+	// lines are blocked only by higher-or-equal ISR bits. IRQ4 has lower
+	// priority than IRQ1, so it stays blocked until EOI.
+	if _, ok := p.Acknowledge(); ok {
+		t.Error("IRQ4 delivered while IRQ1 in service")
+	}
+	p.PortWrite(0x20, 1, 0x20)
+	vec, ok := p.Acknowledge()
+	if !ok || vec != 0x24 {
+		t.Errorf("second ack = %#x, %v; want 0x24", vec, ok)
+	}
+}
+
+func TestPICHigherPriorityPreempts(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.RaiseIRQ(4)
+	if v, _ := p.Acknowledge(); v != 0x24 {
+		t.Fatalf("ack = %#x", v)
+	}
+	// IRQ0 outranks in-service IRQ4 and may be delivered (nested).
+	p.RaiseIRQ(0)
+	v, ok := p.Acknowledge()
+	if !ok || v != 0x20 {
+		t.Errorf("nested ack = %#x, %v; want 0x20", v, ok)
+	}
+}
+
+func TestPICMasking(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.PortWrite(0x21, 1, 0x01) // mask IRQ0
+	p.RaiseIRQ(0)
+	if p.HasPending() {
+		t.Error("masked IRQ pending at CPU")
+	}
+	p.PortWrite(0x21, 1, 0x00) // unmask: request was latched in IRR
+	if !p.HasPending() {
+		t.Error("unmasked IRQ lost")
+	}
+}
+
+func TestPICSlaveVectors(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.RaiseIRQ(11)
+	vec, ok := p.Acknowledge()
+	if !ok || vec != 0x28+3 {
+		t.Errorf("slave ack = %#x, %v; want 0x2b", vec, ok)
+	}
+	p.PortWrite(0xa0, 1, 0x20) // EOI on slave
+	if p.ISR() != 0 {
+		t.Errorf("ISR = %#x after slave EOI", p.ISR())
+	}
+}
+
+func TestPICSpuriousAcknowledge(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	if _, ok := p.Acknowledge(); ok {
+		t.Error("acknowledge with nothing pending succeeded")
+	}
+}
+
+func TestPICOutputChangedCallback(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	calls := 0
+	p.OutputChanged = func() { calls++ }
+	p.RaiseIRQ(3)
+	if calls == 0 {
+		t.Error("OutputChanged not invoked on raise")
+	}
+}
+
+func TestPICRegistersReadable(t *testing.T) {
+	p := NewI8259()
+	initPIC(p)
+	p.RaiseIRQ(2)
+	if got := p.PortRead(0x20, 1); got&0x04 == 0 {
+		t.Errorf("IRR read = %#x, want bit 2", got)
+	}
+	p.PortWrite(0x20, 1, 0x0b) // OCW3: read ISR
+	p.Acknowledge()
+	if got := p.PortRead(0x20, 1); got&0x04 == 0 {
+		t.Errorf("ISR read = %#x, want bit 2", got)
+	}
+}

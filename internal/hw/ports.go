@@ -1,0 +1,70 @@
+package hw
+
+import "fmt"
+
+// IOPortHandler models a device's x86 I/O-port window.
+type IOPortHandler interface {
+	PortRead(port uint16, size int) uint32
+	PortWrite(port uint16, size int, val uint32)
+}
+
+type portRange struct {
+	lo, hi  uint16 // inclusive
+	handler IOPortHandler
+	name    string
+}
+
+// IOPorts is the 64K x86 I/O port space with per-range device routing.
+type IOPorts struct {
+	ranges []portRange
+}
+
+// NewIOPorts returns an empty port space.
+func NewIOPorts() *IOPorts { return &IOPorts{} }
+
+// Map claims ports [lo, hi] for handler.
+func (p *IOPorts) Map(name string, lo, hi uint16, handler IOPortHandler) error {
+	if hi < lo {
+		return fmt.Errorf("hw: invalid port range %#x-%#x", lo, hi)
+	}
+	for _, r := range p.ranges {
+		if lo <= r.hi && r.lo <= hi {
+			return fmt.Errorf("hw: port range %s %#x-%#x overlaps %s %#x-%#x", name, lo, hi, r.name, r.lo, r.hi)
+		}
+	}
+	p.ranges = append(p.ranges, portRange{lo: lo, hi: hi, handler: handler, name: name})
+	return nil
+}
+
+// HandlerAt returns the device owning port, if any.
+func (p *IOPorts) HandlerAt(port uint16) (IOPortHandler, bool) {
+	for _, r := range p.ranges {
+		if port >= r.lo && port <= r.hi {
+			return r.handler, true
+		}
+	}
+	return nil, false
+}
+
+// Read performs an IN from port; unclaimed ports float high (all ones),
+// matching ISA bus behaviour.
+func (p *IOPorts) Read(port uint16, size int) uint32 {
+	if h, ok := p.HandlerAt(port); ok {
+		return h.PortRead(port, size)
+	}
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+// Write performs an OUT to port; unclaimed ports drop the write.
+func (p *IOPorts) Write(port uint16, size int, val uint32) {
+	if h, ok := p.HandlerAt(port); ok {
+		h.PortWrite(port, size, val)
+	}
+}

@@ -1,0 +1,100 @@
+package hw
+
+import "bytes"
+
+// Serial8250 models a 16550-style UART reduced to what a guest console
+// needs: transmit (captured into a buffer), line status, and the usual
+// register decode at COM1 (0x3f8). It never raises interrupts; consoles
+// poll LSR.
+type Serial8250 struct {
+	base uint16
+	tx   bytes.Buffer
+
+	dlab    bool
+	divisor uint16
+	ier     uint8
+	lcr     uint8
+	mcr     uint8
+	scratch uint8
+
+	rx []byte // injected input for the guest to read
+}
+
+// NewSerial8250 creates a UART at the given port base (0x3f8 for COM1).
+func NewSerial8250(base uint16) *Serial8250 { return &Serial8250{base: base, divisor: 1} }
+
+// Base returns the first port of the register window.
+func (s *Serial8250) Base() uint16 { return s.base }
+
+// Output returns everything the guest has transmitted so far.
+func (s *Serial8250) Output() string { return s.tx.String() }
+
+// OutputBytes returns the raw transmitted bytes.
+func (s *Serial8250) OutputBytes() []byte { return s.tx.Bytes() }
+
+// InjectInput queues bytes for the guest to receive.
+func (s *Serial8250) InjectInput(b []byte) { s.rx = append(s.rx, b...) }
+
+// PortRead implements IOPortHandler.
+func (s *Serial8250) PortRead(port uint16, size int) uint32 {
+	switch port - s.base {
+	case 0: // RBR or DLL
+		if s.dlab {
+			return uint32(s.divisor & 0xff)
+		}
+		if len(s.rx) > 0 {
+			b := s.rx[0]
+			s.rx = s.rx[1:]
+			return uint32(b)
+		}
+		return 0
+	case 1: // IER or DLM
+		if s.dlab {
+			return uint32(s.divisor >> 8)
+		}
+		return uint32(s.ier)
+	case 2: // IIR: no interrupt pending
+		return 0x01
+	case 3:
+		return uint32(s.lcr)
+	case 4:
+		return uint32(s.mcr)
+	case 5: // LSR: THR empty + transmitter idle, data-ready if rx queued
+		lsr := uint32(0x60)
+		if len(s.rx) > 0 {
+			lsr |= 0x01
+		}
+		return lsr
+	case 6: // MSR
+		return 0xb0
+	case 7:
+		return uint32(s.scratch)
+	}
+	return 0xff
+}
+
+// PortWrite implements IOPortHandler.
+func (s *Serial8250) PortWrite(port uint16, size int, val uint32) {
+	v := uint8(val)
+	switch port - s.base {
+	case 0:
+		if s.dlab {
+			s.divisor = s.divisor&0xff00 | uint16(v)
+			return
+		}
+		s.tx.WriteByte(v)
+	case 1:
+		if s.dlab {
+			s.divisor = s.divisor&0x00ff | uint16(v)<<8
+			return
+		}
+		s.ier = v
+	case 3:
+		s.lcr = v
+		s.dlab = v&0x80 != 0
+	case 4:
+		s.mcr = v
+	case 7:
+		s.scratch = v
+	}
+}

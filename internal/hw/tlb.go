@@ -1,0 +1,201 @@
+package hw
+
+// TLBTag identifies the address-space tag of a TLB entry. On hardware
+// with VPID/ASID support, guest entries carry the VM's tag and survive
+// VM transitions; tag 0 is the host/hypervisor tag. Without tagging
+// support every transition flushes the whole TLB.
+type TLBTag uint16
+
+// HostTag is the TLB tag of host-mode translations.
+const HostTag TLBTag = 0
+
+// TLBEntry is one cached translation.
+type TLBEntry struct {
+	Tag      TLBTag
+	VPN      uint32 // virtual page number (vaddr >> 12)
+	PFN      uint64 // physical frame number (paddr >> 12)
+	Large    bool   // entry covers a large page
+	Writable bool
+	User     bool
+	Global   bool // survives single-tag flushes (PGE)
+}
+
+type tlbKey struct {
+	tag TLBTag
+	vpn uint32
+}
+
+// TLBStats counts TLB activity; the Figure 5 paging-mode deltas and the
+// "TLB effects" box of Figure 8 derive from these.
+type TLBStats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Evictions  uint64
+	FlushAll   uint64
+	FlushTag   uint64
+	FlushVA    uint64
+	FlushedEnt uint64 // total entries dropped by flushes
+}
+
+// TLB models a tagged, capacity-limited translation cache with separate
+// small-page and large-page arrays (as on Nehalem-class hardware). A
+// large-page entry covers an entire 2M/4M region with a single entry,
+// which is why large host pages lower TLB pressure (Figure 5's "EPT,
+// small pages" bars).
+type TLB struct {
+	smallCap int
+	largeCap int
+
+	small map[tlbKey]*TLBEntry
+	large map[tlbKey]*TLBEntry
+
+	// FIFO eviction rings for determinism.
+	smallOrder []tlbKey
+	largeOrder []tlbKey
+
+	largeShift uint // log2 of the large page size (21 for 2M, 22 for 4M)
+
+	Stats TLBStats
+}
+
+// NewTLB creates a TLB with the given entry capacities and large-page
+// size in bytes (must be a power of two >= 2M).
+func NewTLB(smallCap, largeCap int, largePage uint32) *TLB {
+	shift := uint(0)
+	for p := largePage; p > 1; p >>= 1 {
+		shift++
+	}
+	return &TLB{
+		smallCap:   smallCap,
+		largeCap:   largeCap,
+		small:      make(map[tlbKey]*TLBEntry, smallCap),
+		large:      make(map[tlbKey]*TLBEntry, largeCap),
+		largeShift: shift,
+	}
+}
+
+// LargePageSize returns the large page size in bytes.
+func (t *TLB) LargePageSize() uint32 { return 1 << t.largeShift }
+
+func (t *TLB) largeVPN(vaddr uint32) uint32 { return vaddr >> t.largeShift }
+
+// Lookup searches for a translation of vaddr under tag. On a hit it
+// returns the entry.
+func (t *TLB) Lookup(tag TLBTag, vaddr uint32) (*TLBEntry, bool) {
+	if e, ok := t.large[tlbKey{tag, t.largeVPN(vaddr)}]; ok {
+		t.Stats.Hits++
+		return e, true
+	}
+	if e, ok := t.small[tlbKey{tag, vaddr >> 12}]; ok {
+		t.Stats.Hits++
+		return e, true
+	}
+	t.Stats.Misses++
+	return nil, false
+}
+
+// Insert caches a translation. For large entries, VPN must already be the
+// large-page-aligned virtual page number (vaddr >> largeShift stored as
+// VPN) — use InsertLarge/InsertSmall helpers to avoid mistakes.
+func (t *TLB) insert(m map[tlbKey]*TLBEntry, order *[]tlbKey, capn int, k tlbKey, e *TLBEntry) {
+	if _, exists := m[k]; !exists && len(m) >= capn {
+		// FIFO eviction of the oldest still-present key.
+		for len(*order) > 0 {
+			victim := (*order)[0]
+			*order = (*order)[1:]
+			if _, ok := m[victim]; ok {
+				delete(m, victim)
+				t.Stats.Evictions++
+				break
+			}
+		}
+	}
+	if _, exists := m[k]; !exists {
+		*order = append(*order, k)
+	}
+	m[k] = e
+	t.Stats.Fills++
+}
+
+// InsertSmall caches a 4K translation for vaddr.
+func (t *TLB) InsertSmall(tag TLBTag, vaddr uint32, pfn uint64, writable, user, global bool) {
+	k := tlbKey{tag, vaddr >> 12}
+	t.insert(t.small, &t.smallOrder, t.smallCap, k, &TLBEntry{
+		Tag: tag, VPN: k.vpn, PFN: pfn, Writable: writable, User: user, Global: global,
+	})
+}
+
+// InsertLarge caches a large-page translation for vaddr. pfn is the
+// physical frame number of the large frame base (paddr >> 12).
+func (t *TLB) InsertLarge(tag TLBTag, vaddr uint32, pfn uint64, writable, user, global bool) {
+	k := tlbKey{tag, t.largeVPN(vaddr)}
+	t.insert(t.large, &t.largeOrder, t.largeCap, k, &TLBEntry{
+		Tag: tag, VPN: k.vpn, PFN: pfn, Large: true, Writable: writable, User: user, Global: global,
+	})
+}
+
+// Translate returns the physical address for vaddr if cached.
+func (t *TLB) Translate(tag TLBTag, vaddr uint32) (PhysAddr, *TLBEntry, bool) {
+	e, ok := t.Lookup(tag, vaddr)
+	if !ok {
+		return 0, nil, false
+	}
+	if e.Large {
+		mask := uint32(1)<<t.largeShift - 1
+		return PhysAddr(e.PFN)<<12 + PhysAddr(vaddr&mask), e, true
+	}
+	return PhysAddr(e.PFN)<<12 + PhysAddr(vaddr&0xfff), e, true
+}
+
+// FlushAll drops every entry (untagged hardware on a world switch, or
+// MOV CR3 with PGE disabled dropping even global entries is modeled by
+// the caller choosing FlushAll vs FlushTag).
+func (t *TLB) FlushAll() {
+	t.Stats.FlushAll++
+	t.Stats.FlushedEnt += uint64(len(t.small) + len(t.large))
+	clearMap(t.small)
+	clearMap(t.large)
+	t.smallOrder = t.smallOrder[:0]
+	t.largeOrder = t.largeOrder[:0]
+}
+
+// FlushTag drops all non-global entries with the given tag (tagged
+// address-space switch / INVVPID single-context).
+func (t *TLB) FlushTag(tag TLBTag) {
+	t.Stats.FlushTag++
+	for k, e := range t.small {
+		if k.tag == tag && !e.Global {
+			delete(t.small, k)
+			t.Stats.FlushedEnt++
+		}
+	}
+	for k, e := range t.large {
+		if k.tag == tag && !e.Global {
+			delete(t.large, k)
+			t.Stats.FlushedEnt++
+		}
+	}
+}
+
+// FlushVA drops the entry covering vaddr under tag (INVLPG).
+func (t *TLB) FlushVA(tag TLBTag, vaddr uint32) {
+	t.Stats.FlushVA++
+	if _, ok := t.small[tlbKey{tag, vaddr >> 12}]; ok {
+		delete(t.small, tlbKey{tag, vaddr >> 12})
+		t.Stats.FlushedEnt++
+	}
+	if _, ok := t.large[tlbKey{tag, t.largeVPN(vaddr)}]; ok {
+		delete(t.large, tlbKey{tag, t.largeVPN(vaddr)})
+		t.Stats.FlushedEnt++
+	}
+}
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.small) + len(t.large) }
+
+func clearMap(m map[tlbKey]*TLBEntry) {
+	for k := range m {
+		delete(m, k)
+	}
+}

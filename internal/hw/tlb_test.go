@@ -1,0 +1,137 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBInsertLookupSmall(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	tlb.InsertSmall(1, 0x1000, 0x42, true, false, false)
+	pa, e, ok := tlb.Translate(1, 0x1234)
+	if !ok {
+		t.Fatal("miss after insert")
+	}
+	if pa != 0x42<<12|0x234 {
+		t.Errorf("pa = %#x", pa)
+	}
+	if !e.Writable || e.User {
+		t.Errorf("perms wrong: %+v", e)
+	}
+	// Different tag misses.
+	if _, _, ok := tlb.Translate(2, 0x1234); ok {
+		t.Error("hit under wrong tag")
+	}
+}
+
+func TestTLBLargePageCoverage(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	// One large entry covers the whole 2M region.
+	tlb.InsertLarge(1, 0x00200000, 0x800, true, true, false)
+	for _, va := range []uint32{0x00200000, 0x00200fff, 0x003fffff} {
+		pa, e, ok := tlb.Translate(1, va)
+		if !ok {
+			t.Fatalf("large-page miss at %#x", va)
+		}
+		if !e.Large {
+			t.Fatal("entry not large")
+		}
+		want := PhysAddr(0x800)<<12 + PhysAddr(va&0x1fffff)
+		if pa != want {
+			t.Errorf("pa(%#x) = %#x, want %#x", va, pa, want)
+		}
+	}
+	// Next region misses.
+	if _, _, ok := tlb.Translate(1, 0x00400000); ok {
+		t.Error("hit outside large page")
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	tlb := NewTLB(4, 2, 2<<20)
+	for i := uint32(0); i < 8; i++ {
+		tlb.InsertSmall(1, i<<12, uint64(i), false, false, false)
+	}
+	if tlb.Len() > 4+0 {
+		t.Errorf("TLB over capacity: %d entries", tlb.Len())
+	}
+	if tlb.Stats.Evictions != 4 {
+		t.Errorf("evictions = %d, want 4", tlb.Stats.Evictions)
+	}
+	// FIFO: oldest entries gone, newest present.
+	if _, ok := tlb.Lookup(1, 0); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := tlb.Lookup(1, 7<<12); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestTLBFlushTagSparesOtherTagsAndGlobals(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	tlb.InsertSmall(1, 0x1000, 1, false, false, false)
+	tlb.InsertSmall(1, 0x2000, 2, false, false, true) // global
+	tlb.InsertSmall(2, 0x1000, 3, false, false, false)
+	tlb.FlushTag(1)
+	if _, ok := tlb.Lookup(1, 0x1000); ok {
+		t.Error("flushed entry survived")
+	}
+	if _, ok := tlb.Lookup(1, 0x2000); !ok {
+		t.Error("global entry flushed by FlushTag")
+	}
+	if _, ok := tlb.Lookup(2, 0x1000); !ok {
+		t.Error("other tag flushed")
+	}
+}
+
+func TestTLBFlushAllDropsEverything(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	tlb.InsertSmall(1, 0x1000, 1, false, false, true)
+	tlb.InsertLarge(2, 0x200000, 2, false, false, false)
+	tlb.FlushAll()
+	if tlb.Len() != 0 {
+		t.Errorf("entries after FlushAll: %d", tlb.Len())
+	}
+	if tlb.Stats.FlushedEnt != 2 {
+		t.Errorf("FlushedEnt = %d, want 2", tlb.Stats.FlushedEnt)
+	}
+}
+
+func TestTLBFlushVA(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	tlb.InsertSmall(1, 0x1000, 1, false, false, false)
+	tlb.InsertSmall(1, 0x2000, 2, false, false, false)
+	tlb.FlushVA(1, 0x1800) // same page as 0x1000
+	if _, ok := tlb.Lookup(1, 0x1000); ok {
+		t.Error("INVLPG'd entry survived")
+	}
+	if _, ok := tlb.Lookup(1, 0x2000); !ok {
+		t.Error("unrelated entry flushed")
+	}
+}
+
+func TestTLBStatsCounting(t *testing.T) {
+	tlb := NewTLB(16, 4, 2<<20)
+	tlb.Lookup(1, 0x1000) // miss
+	tlb.InsertSmall(1, 0x1000, 1, false, false, false)
+	tlb.Lookup(1, 0x1000) // hit
+	if tlb.Stats.Misses != 1 || tlb.Stats.Hits != 1 || tlb.Stats.Fills != 1 {
+		t.Errorf("stats = %+v", tlb.Stats)
+	}
+}
+
+func TestTLBTranslationProperty(t *testing.T) {
+	// Property: translate(insert(va, pfn)) preserves the page offset and
+	// maps the page number to pfn, for arbitrary va/pfn.
+	f := func(vaRaw uint32, pfnRaw uint32, tagRaw uint8) bool {
+		tlb := NewTLB(8, 2, 2<<20)
+		tag := TLBTag(tagRaw)
+		pfn := uint64(pfnRaw) & 0xfffff
+		tlb.InsertSmall(tag, vaRaw, pfn, true, true, false)
+		pa, _, ok := tlb.Translate(tag, vaRaw)
+		return ok && pa == PhysAddr(pfn)<<12+PhysAddr(vaRaw&0xfff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// BareMetal runs an operating system directly on the simulated
+// platform with no virtualization layer at all: the paper's "Native"
+// baseline. The OS owns the physical devices, receives hardware
+// interrupts through its own IDT, and pays only its own page-walk
+// costs.
+type BareMetal struct {
+	Plat   *hw.Platform
+	State  x86.CPUState
+	Interp *x86.Interp
+}
+
+// nativeEnv translates through the OS's own page tables (physical =
+// linear when paging is off) and reaches devices directly.
+type nativeEnv struct {
+	plat *hw.Platform
+}
+
+type hostPhys struct{ mem *hw.Memory }
+
+func (h hostPhys) ReadPhys32(pa uint64) (uint32, bool) {
+	if pa+4 > h.mem.Size() {
+		return 0, false
+	}
+	return h.mem.Read32(hw.PhysAddr(pa)), true
+}
+
+func (h hostPhys) WritePhys32(pa uint64, v uint32) bool {
+	if pa+4 > h.mem.Size() {
+		return false
+	}
+	h.mem.Write32(hw.PhysAddr(pa), v)
+	return true
+}
+
+func (e *nativeEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, error) {
+	if !st.PagingEnabled() {
+		return uint64(va), nil
+	}
+	tlb := e.plat.BootCPU().TLB
+	if pa, entry, ok := tlb.Translate(hw.HostTag, va); ok {
+		if !write || entry.Writable {
+			return uint64(pa), nil
+		}
+	}
+	w, exc := x86.WalkGuest(hostPhys{e.plat.Mem}, st.CR3, st.CR4, va, write, st.CR0&x86.CR0WP != 0, true)
+	e.plat.BootCPU().Clock.Charge(hw.Cycles(w.Steps) * e.plat.Cost.PageWalkLevel)
+	if exc != nil {
+		return 0, exc
+	}
+	if w.Large {
+		mask := uint64(tlb.LargePageSize() - 1)
+		tlb.InsertLarge(hw.HostTag, va, w.PA&^mask>>12, w.Writable, w.User, w.Global)
+	} else {
+		tlb.InsertSmall(hw.HostTag, va, w.PA>>12, w.Writable, w.User, w.Global)
+	}
+	return w.PA, nil
+}
+
+func (e *nativeEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
+	if crossesPage(va, size) {
+		return splitRead(e, st, va, size, kind)
+	}
+	pa, err := e.translate(st, va, false)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint32(e.plat.Mem.Read8(hw.PhysAddr(pa))), nil
+	case 2:
+		return uint32(e.plat.Mem.Read16(hw.PhysAddr(pa))), nil
+	default:
+		return e.plat.Mem.Read32(hw.PhysAddr(pa)), nil
+	}
+}
+
+func (e *nativeEnv) MemWrite(st *x86.CPUState, va uint32, size int, val uint32) error {
+	if crossesPage(va, size) {
+		return splitWrite(e, st, va, size, val)
+	}
+	pa, err := e.translate(st, va, true)
+	if err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		e.plat.Mem.Write8(hw.PhysAddr(pa), uint8(val))
+	case 2:
+		e.plat.Mem.Write16(hw.PhysAddr(pa), uint16(val))
+	default:
+		e.plat.Mem.Write32(hw.PhysAddr(pa), val)
+	}
+	return nil
+}
+
+func (e *nativeEnv) In(port uint16, size int) (uint32, error) {
+	return e.plat.Ports.Read(port, size), nil
+}
+
+func (e *nativeEnv) Out(port uint16, size int, val uint32) error {
+	e.plat.Ports.Write(port, size, val)
+	return nil
+}
+
+func (e *nativeEnv) InvalidateTLB(st *x86.CPUState, all bool, va uint32) {
+	tlb := e.plat.BootCPU().TLB
+	if all {
+		if st.CR4&x86.CR4PGE != 0 {
+			tlb.FlushTag(hw.HostTag)
+		} else {
+			tlb.FlushAll()
+		}
+	} else {
+		tlb.FlushVA(hw.HostTag, va)
+	}
+}
+
+// NewBareMetal prepares a native run of the OS image already loaded in
+// platform memory, entered at the given address in real mode.
+func NewBareMetal(plat *hw.Platform, entry uint32) *BareMetal {
+	b := &BareMetal{Plat: plat}
+	b.State.Reset()
+	b.State.EIP = entry
+	env := &nativeEnv{plat: plat}
+	b.Interp = x86.NewInterp(env, &b.State, x86.Intercepts{})
+	b.Interp.TSC = func() uint64 { return uint64(plat.BootCPU().Clock.Now()) }
+	return b
+}
+
+// Run executes until the deadline, the OS halts with no wakeup source,
+// or a triple fault occurs.
+func (b *BareMetal) Run(until hw.Cycles) error {
+	clk := &b.Plat.BootCPU().Clock
+	cost := b.Plat.Cost
+	for clk.Now() < until {
+		b.Plat.RunEventsUntil(clk.Now())
+		if b.Plat.PIC.HasPending() && b.Interp.Interruptible() {
+			if vec, ok := b.Plat.PIC.Acknowledge(); ok {
+				if err := b.Interp.Interrupt(vec); err != nil {
+					return fmt.Errorf("hypervisor: native interrupt delivery: %w", err)
+				}
+			}
+			continue
+		}
+		if b.State.Halted {
+			if b.Plat.Queue.Empty() {
+				return nil
+			}
+			t := b.Plat.Queue.NextTime()
+			if t > until {
+				clk.AdvanceTo(until)
+				return nil
+			}
+			clk.AdvanceTo(t)
+			continue
+		}
+		before := b.Interp.InstRet
+		extraBefore := b.Interp.ExtraCycles
+		err := b.Interp.Step()
+		retired := b.Interp.InstRet - before
+		if retired == 0 {
+			retired = 1
+		}
+		clk.Charge(hw.Cycles(retired)*cost.InstructionCost + hw.Cycles(b.Interp.ExtraCycles-extraBefore))
+		if err != nil {
+			return fmt.Errorf("hypervisor: native execution: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package hypervisor
+
+import (
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// physRead accesses host-physical memory (routing device windows to
+// their MMIO handlers, which matters for passthrough mappings).
+func (k *Kernel) physRead(pa uint64, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(k.Plat.Mem.Read8(hw.PhysAddr(pa)))
+	case 2:
+		return uint32(k.Plat.Mem.Read16(hw.PhysAddr(pa)))
+	default:
+		return k.Plat.Mem.Read32(hw.PhysAddr(pa))
+	}
+}
+
+func (k *Kernel) physWrite(pa uint64, size int, v uint32) {
+	switch size {
+	case 1:
+		k.Plat.Mem.Write8(hw.PhysAddr(pa), uint8(v))
+	case 2:
+		k.Plat.Mem.Write16(hw.PhysAddr(pa), uint16(v))
+	default:
+		k.Plat.Mem.Write32(hw.PhysAddr(pa), v)
+	}
+}
+
+// hostTranslate resolves a guest-physical address through the VM
+// domain's memory space (the host page table).
+func hostTranslate(pd *PD, gpa uint64) (hpa uint64, writable bool, ok bool) {
+	frame, rights, ok := pd.Mem.Translate(uint32(gpa >> 12))
+	if !ok {
+		return 0, false, false
+	}
+	return frame<<12 | gpa&0xfff, rights&cap.RightWrite != 0, true
+}
+
+// gpaPhys adapts a VM's guest-physical space as x86.PhysMem for guest
+// page-table walks.
+type gpaPhys struct {
+	k  *Kernel
+	pd *PD
+}
+
+func (g gpaPhys) ReadPhys32(pa uint64) (uint32, bool) {
+	hpa, _, ok := hostTranslate(g.pd, pa)
+	if !ok {
+		return 0, false
+	}
+	return g.k.Plat.Mem.Read32(hw.PhysAddr(hpa)), true
+}
+
+func (g gpaPhys) WritePhys32(pa uint64, v uint32) bool {
+	hpa, w, ok := hostTranslate(g.pd, pa)
+	if !ok || !w {
+		return false
+	}
+	g.k.Plat.Mem.Write32(hw.PhysAddr(hpa), v)
+	return true
+}
+
+// ShadowPT is the per-vCPU shadow page table of the vTLB algorithm
+// (§5.3): the translation the hardware MMU actually uses in shadow
+// paging mode, filled lazily from the guest's page tables.
+type ShadowPT struct {
+	entries map[uint32]shadowEntry // vpn -> entry
+
+	Fills   uint64
+	Flushes uint64
+}
+
+type shadowEntry struct {
+	hpaPage uint64
+	guestW  bool
+	hostW   bool
+	large   bool
+	memVer  uint64 // pd.Mem.Version at fill time
+}
+
+// NewShadowPT creates an empty shadow page table.
+func NewShadowPT() *ShadowPT {
+	return &ShadowPT{entries: make(map[uint32]shadowEntry)}
+}
+
+// Flush drops all shadow entries (guest CR3 write / CR0 paging change).
+func (s *ShadowPT) Flush() {
+	s.Flushes++
+	s.entries = make(map[uint32]shadowEntry)
+}
+
+// Invalidate drops the entry covering va (guest INVLPG).
+func (s *ShadowPT) Invalidate(va uint32) {
+	delete(s.entries, va>>12)
+}
+
+// Len returns the number of shadow entries.
+func (s *ShadowPT) Len() int { return len(s.entries) }
+
+// splitRead handles accesses that cross a page boundary byte-by-byte.
+func splitRead(env x86.Env, st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
+	var v uint32
+	for i := size - 1; i >= 0; i-- {
+		b, err := env.MemRead(st, va+uint32(i), 1, kind)
+		if err != nil {
+			return 0, err
+		}
+		v = v<<8 | b&0xff
+	}
+	return v, nil
+}
+
+func splitWrite(env x86.Env, st *x86.CPUState, va uint32, size int, val uint32) error {
+	for i := 0; i < size; i++ {
+		if err := env.MemWrite(st, va+uint32(i), 1, val>>(8*uint(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func crossesPage(va uint32, size int) bool {
+	return va&0xfff+uint32(size) > hw.PageSize
+}
+
+// guestIOAccess implements non-intercepted port I/O for passthrough
+// guests: the domain's I/O space gates access to the physical ports.
+func guestIOAccess(k *Kernel, pd *PD, port uint16) bool {
+	return pd.IO.Allowed(port)
+}
+
+// ---------------------------------------------------------------------
+// EPT environment: hardware nested paging.
+// ---------------------------------------------------------------------
+
+type eptEnv struct {
+	k  *Kernel
+	ec *EC
+
+	// memVer tracks pd.Mem.Version; mapping changes flush cached
+	// translations.
+	memVer uint64
+}
+
+func newEPTEnv(k *Kernel, ec *EC) *eptEnv { return &eptEnv{k: k, ec: ec} }
+
+func (e *eptEnv) tag() hw.TLBTag { return e.ec.PD.Tag }
+
+func (e *eptEnv) tlb() *hw.TLB { return e.k.Plat.CPUs[e.ec.CPU].TLB }
+
+func (e *eptEnv) checkVer() {
+	if v := e.ec.PD.Mem.Version; v != e.memVer {
+		e.memVer = v
+		e.tlb().FlushTag(e.tag())
+	}
+}
+
+// translate resolves a guest-virtual address, performing the hardware
+// two-dimensional page walk on TLB misses.
+func (e *eptEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, error) {
+	e.checkVer()
+	tlb := e.tlb()
+	if pa, entry, ok := tlb.Translate(e.tag(), va); ok {
+		if !write || entry.Writable {
+			return uint64(pa), nil
+		}
+		// Slow path below decides which layer denies the write.
+	}
+
+	cost := e.k.Plat.Cost
+	var gpa uint64
+	var guestW, guestLarge, guestGlobal bool
+	if st.PagingEnabled() {
+		w, exc := x86.WalkGuest(gpaPhys{e.k, e.ec.PD}, st.CR3, st.CR4, va, write, st.CR0&x86.CR0WP != 0, true)
+		// Hardware 2-D walk: each guest level is itself translated
+		// through the host tables.
+		steps := (w.Steps+1)*(cost.HostPTLevels+1) - 1
+		e.k.charge(hw.Cycles(steps) * cost.PageWalkLevel)
+		if exc != nil {
+			return 0, exc
+		}
+		gpa = w.PA
+		guestW, guestLarge, guestGlobal = w.Writable, w.Large, w.Global
+	} else {
+		gpa = uint64(va)
+		guestW, guestLarge = true, true
+		e.k.charge(hw.Cycles(cost.HostPTLevels) * cost.PageWalkLevel)
+	}
+
+	hpa, hostW, ok := hostTranslate(e.ec.PD, gpa)
+	if !ok {
+		return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: gpa, Write: write}
+	}
+	if write && !hostW {
+		return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: gpa, Write: true}
+	}
+	if write && !guestW {
+		return 0, x86.PageFault(va, true, true, false)
+	}
+
+	writable := guestW && hostW
+	if guestLarge && e.ec.PD.HostLargePages {
+		// The combined entry covers a large page only when both guest
+		// and host mappings are large (Figure 5's small-host-pages bars
+		// lose exactly this).
+		mask := uint64(tlb.LargePageSize() - 1)
+		base := hpa &^ mask
+		tlb.InsertLarge(e.tag(), va, base>>12, writable, true, guestGlobal)
+	} else {
+		tlb.InsertSmall(e.tag(), va, hpa>>12, writable, true, guestGlobal)
+	}
+	return hpa, nil
+}
+
+func (e *eptEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
+	if crossesPage(va, size) {
+		return splitRead(e, st, va, size, kind)
+	}
+	hpa, err := e.translate(st, va, false)
+	if err != nil {
+		return 0, err
+	}
+	return e.k.physRead(hpa, size), nil
+}
+
+func (e *eptEnv) MemWrite(st *x86.CPUState, va uint32, size int, val uint32) error {
+	if crossesPage(va, size) {
+		return splitWrite(e, st, va, size, val)
+	}
+	hpa, err := e.translate(st, va, true)
+	if err != nil {
+		return err
+	}
+	e.k.physWrite(hpa, size, val)
+	return nil
+}
+
+func (e *eptEnv) In(port uint16, size int) (uint32, error) {
+	if !guestIOAccess(e.k, e.ec.PD, port) {
+		return 0, x86.GPFault(0)
+	}
+	return e.k.Plat.Ports.Read(port, size), nil
+}
+
+func (e *eptEnv) Out(port uint16, size int, val uint32) error {
+	if !guestIOAccess(e.k, e.ec.PD, port) {
+		return x86.GPFault(0)
+	}
+	e.k.Plat.Ports.Write(port, size, val)
+	return nil
+}
+
+func (e *eptEnv) InvalidateTLB(st *x86.CPUState, all bool, va uint32) {
+	if all {
+		e.tlb().FlushTag(e.tag())
+	} else {
+		e.tlb().FlushVA(e.tag(), va)
+	}
+}
+
+func (e *eptEnv) FlushOnWorldSwitch() {
+	if !e.k.tagged() {
+		e.tlb().FlushAll()
+	}
+}
+
+// ---------------------------------------------------------------------
+// vTLB environment: shadow paging (§5.3).
+// ---------------------------------------------------------------------
+
+type vtlbEnv struct {
+	k  *Kernel
+	ec *EC
+}
+
+func newVTLBEnv(k *Kernel, ec *EC) *vtlbEnv { return &vtlbEnv{k: k, ec: ec} }
+
+func (e *vtlbEnv) tag() hw.TLBTag { return e.ec.PD.Tag }
+
+func (e *vtlbEnv) tlb() *hw.TLB { return e.k.Plat.CPUs[e.ec.CPU].TLB }
+
+func (e *vtlbEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, error) {
+	v := e.ec.VCPU
+	cost := e.k.Plat.Cost
+
+	if !st.PagingEnabled() {
+		// Real mode / paging off: identity guest mapping through the
+		// host page table only.
+		hpa, hostW, ok := hostTranslate(e.ec.PD, uint64(va))
+		if !ok {
+			return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: uint64(va), Write: write}
+		}
+		if write && !hostW {
+			return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: uint64(va), Write: true}
+		}
+		return hpa, nil
+	}
+
+	vpn := va >> 12
+	// Hardware TLB first, then the shadow page table (a regular
+	// two-level table the MMU walks on TLB misses).
+	if pa, entry, ok := e.tlb().Translate(e.tag(), va); ok {
+		if !write || entry.Writable {
+			return uint64(pa), nil
+		}
+	}
+	if se, ok := v.Shadow.entries[vpn]; ok && se.memVer == e.ec.PD.Mem.Version {
+		if !write || se.guestW && se.hostW {
+			e.k.charge(2 * cost.PageWalkLevel) // MMU walk of the shadow table
+			e.tlb().InsertSmall(e.tag(), va, se.hpaPage, se.guestW && se.hostW, true, false)
+			return se.hpaPage<<12 | uint64(va&0xfff), nil
+		}
+	}
+
+	// vTLB miss: world switch into the microhypervisor, six VMREADs to
+	// determine the cause, then the one-dimensional guest walk enabled
+	// by running on the VM's host page table (§5.3), and the shadow
+	// fill.
+	e.k.charge(cost.VMTransitCost(e.k.tagged()) + 6*cost.VMRead)
+	if !e.k.tagged() {
+		e.tlb().FlushAll()
+	}
+
+	w, exc := x86.WalkGuest(gpaPhys{e.k, e.ec.PD}, st.CR3, st.CR4, va, write, st.CR0&x86.CR0WP != 0, true)
+	perStep := cost.CacheLineAccess
+	if e.k.Cfg.DisableVTLBTrick {
+		// Without running on the VM's host page table, each guest
+		// page-table entry read needs a software GPA->HPA translation
+		// (§5.3: the trick makes the two-dimensional walk
+		// one-dimensional for software).
+		perStep += hw.Cycles(cost.HostPTLevels) * cost.CacheLineAccess
+	}
+	e.k.charge(hw.Cycles(w.Steps) * perStep)
+	if exc != nil {
+		// The guest's own page fault: forwarded into the guest. This is
+		// Table 2's "Guest Page Fault" row.
+		e.k.Stats.GuestPageFault++
+		v.Exits[x86.ExitException]++
+		return 0, exc
+	}
+
+	hpa, hostW, ok := hostTranslate(e.ec.PD, w.PA)
+	if !ok {
+		return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: w.PA, Write: write}
+	}
+	if write && !hostW {
+		return 0, &x86.VMExit{Reason: x86.ExitEPTViolation, GPA: w.PA, Write: true}
+	}
+
+	// Shadow page-table update (two entries touched).
+	e.k.charge(2 * cost.CacheLineAccess)
+	v.Shadow.entries[vpn] = shadowEntry{
+		hpaPage: hpa >> 12, guestW: w.Writable, hostW: hostW,
+		large: w.Large, memVer: e.ec.PD.Mem.Version,
+	}
+	v.Shadow.Fills++
+	e.k.Stats.VTLBFills++
+	e.tlb().InsertSmall(e.tag(), va, hpa>>12, w.Writable && hostW, true, false)
+	return hpa, nil
+}
+
+func (e *vtlbEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
+	if crossesPage(va, size) {
+		return splitRead(e, st, va, size, kind)
+	}
+	hpa, err := e.translate(st, va, false)
+	if err != nil {
+		return 0, err
+	}
+	return e.k.physRead(hpa, size), nil
+}
+
+func (e *vtlbEnv) MemWrite(st *x86.CPUState, va uint32, size int, val uint32) error {
+	if crossesPage(va, size) {
+		return splitWrite(e, st, va, size, val)
+	}
+	hpa, err := e.translate(st, va, true)
+	if err != nil {
+		return err
+	}
+	e.k.physWrite(hpa, size, val)
+	return nil
+}
+
+func (e *vtlbEnv) In(port uint16, size int) (uint32, error) {
+	if !guestIOAccess(e.k, e.ec.PD, port) {
+		return 0, x86.GPFault(0)
+	}
+	return e.k.Plat.Ports.Read(port, size), nil
+}
+
+func (e *vtlbEnv) Out(port uint16, size int, val uint32) error {
+	if !guestIOAccess(e.k, e.ec.PD, port) {
+		return x86.GPFault(0)
+	}
+	e.k.Plat.Ports.Write(port, size, val)
+	return nil
+}
+
+func (e *vtlbEnv) InvalidateTLB(st *x86.CPUState, all bool, va uint32) {
+	// Only reached when CR/INVLPG intercepts are off; the kernel's
+	// intercept path normally handles these.
+	v := e.ec.VCPU
+	if all {
+		v.Shadow.Flush()
+		e.tlb().FlushTag(e.tag())
+	} else {
+		v.Shadow.Invalidate(va)
+		e.tlb().FlushVA(e.tag(), va)
+	}
+}
+
+func (e *vtlbEnv) FlushOnWorldSwitch() {
+	if !e.k.tagged() {
+		e.tlb().FlushAll()
+	}
+}

@@ -1,0 +1,125 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nova/internal/cap"
+	"nova/internal/hw"
+)
+
+// ipcPerWord is the marginal transfer cost per message word (§8.4:
+// "2–3 cycles per word").
+const ipcPerWord = 3
+
+// portalLookupCost approximates the capability lookup on the IPC path.
+const portalLookupCost = 12
+
+// Call performs synchronous IPC through a portal capability: the
+// kernel looks the capability up in the caller's space, donates the
+// caller's scheduling context to the handler EC, switches address
+// spaces, delivers the message, and blocks the caller until the handler
+// invokes the reply capability (§5.2).
+//
+// In this model the handler's code runs inline (it executes on the
+// donated SC anyway — that is the whole point of donation: no scheduler
+// involvement, Figure 3), so Call returns when the reply arrives. The
+// handler replies by mutating msg in place.
+func (k *Kernel) Call(caller *PD, sel cap.Selector, msg *UTCB) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	c, err := caller.Caps.LookupTyped(sel, cap.ObjPortal, cap.RightCall)
+	if err != nil {
+		return err
+	}
+	pt := c.Obj.(*Portal)
+	if pt.dead || pt.PD.dead {
+		return ErrDead
+	}
+	return k.portalCall(caller, pt, msg, len(msg.Words))
+}
+
+// portalCall is the kernel-internal portal traversal, shared between
+// the hypercall path and VM-exit delivery. words is the payload size
+// for the per-word cost.
+func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
+	k.Stats.IPCCalls++
+	k.Stats.IPCWords += uint64(words)
+
+	cost := hw.Cycles(portalLookupCost) + k.Plat.Cost.SyscallEntryExit/8 // portal traversal
+	cost += hw.Cycles(words * ipcPerWord)
+	if pt.PD != from {
+		// Cross-address-space: without user TLB tags, the address-space
+		// switch flushes and later repopulates the user-side TLB
+		// entries ("TLB effects", Figure 8). User components are host
+		// code whose TLB footprint is folded into the refill constant;
+		// guest-tagged entries are governed by VPID on the world
+		// switch, not here.
+		cost += k.Plat.Cost.TLBRefill
+		k.Stats.ContextSwitch++
+	}
+	if k.Cfg.DisableDirectSwitch {
+		// Ablation: instead of switching directly to the handler on the
+		// donated SC, take a trip through the scheduler.
+		cost += k.Plat.Cost.SyscallEntryExit + hw.Cycles(60)
+	}
+	k.charge(cost)
+
+	// Typed items: memory delegations riding on the message land in the
+	// receiver's space, clipped to the portal's receive window (§6).
+	if len(msg.Delegations) > 0 {
+		msg.Delegated = 0
+		for _, it := range msg.Delegations {
+			if it.NPages <= 0 {
+				continue
+			}
+			if pt.AcceptPages <= 0 ||
+				it.DstPage < pt.AcceptBase ||
+				it.DstPage+uint32(it.NPages) > pt.AcceptBase+uint32(pt.AcceptPages) {
+				continue // outside the receiver's window: dropped
+			}
+			if err := from.Mem.Delegate(it.SrcPage, pt.PD.Mem, it.DstPage, it.NPages, it.Rights); err != nil {
+				continue
+			}
+			k.charge(hw.Cycles(it.NPages) * 8) // mapping-database insertion
+			msg.Delegated++
+		}
+		msg.Delegations = msg.Delegations[:0]
+	}
+
+	pt.Calls++
+	if pt.Handle == nil {
+		return fmt.Errorf("hypervisor: portal %s has no handler", pt.Name)
+	}
+	// The handler runs here, on the donated scheduling context: the
+	// entire handling is accounted to the caller's time quantum (§5.2).
+	// The kernel creates the reply capability before the handler runs
+	// and destroys it on return.
+	if err := pt.Handle(msg); err != nil {
+		return err
+	}
+
+	// Reply path: the handler's reply hypercall (its own kernel
+	// entry/exit) plus the switch back.
+	reply := k.Plat.Cost.SyscallEntryExit + hw.Cycles(portalLookupCost) + hw.Cycles(words*ipcPerWord)
+	if pt.PD != from {
+		reply += k.Plat.Cost.TLBRefill
+		k.Stats.ContextSwitch++
+	}
+	k.charge(reply)
+	return nil
+}
+
+// IPCCost returns the cycle cost of one one-way message transfer of the
+// given word count, for the Figure 8 microbenchmark: kernel entry/exit,
+// the IPC path (capability lookup, portal traversal, context switch and
+// payload copy), and the TLB effects of a cross-address-space switch.
+func (k *Kernel) IPCCost(words int, crossAS bool) hw.Cycles {
+	c := k.Plat.Cost.SyscallEntryExit +
+		hw.Cycles(portalLookupCost) + k.Plat.Cost.SyscallEntryExit/8 +
+		hw.Cycles(words*ipcPerWord)
+	if crossAS {
+		c += k.Plat.Cost.TLBRefill
+	}
+	return c
+}

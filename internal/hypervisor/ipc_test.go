@@ -1,0 +1,104 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"nova/internal/cap"
+)
+
+// TestIPCDelegationInMessage exercises §6's delegation-during-
+// communication: a client maps memory into a server by sending typed
+// items through the portal; the server's receive window clips them.
+func TestIPCDelegationInMessage(t *testing.T) {
+	k := newTestKernel(t, Config{})
+	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "client", false)
+	server, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "server", false)
+
+	// The client owns 8 pages at its page 0x1000 (backed by host frames
+	// 0x400...).
+	if err := k.DelegateMem(k.Root, 0x400, client, 0x1000, 8, cap.RightsAll); err != nil {
+		t.Fatal(err)
+	}
+
+	srvSel := server.Caps.AllocSel()
+	pt, err := k.CreatePortal(server, srvSel, "mapper", 1, 0, func(m *UTCB) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server accepts delegations at pages [0x2000, 0x2010).
+	pt.AcceptBase, pt.AcceptPages = 0x2000, 16
+	if err := server.Caps.Delegate(srvSel, client.Caps, 50, cap.RightCall); err != nil {
+		t.Fatal(err)
+	}
+
+	msg := &UTCB{
+		Words: []uint64{1},
+		Delegations: []DelegateItem{
+			// Inside the window, read-only: accepted.
+			{SrcPage: 0x1000, DstPage: 0x2000, NPages: 4, Rights: cap.RightRead},
+			// Outside the window: dropped.
+			{SrcPage: 0x1004, DstPage: 0x9000, NPages: 2, Rights: cap.RightsAll},
+			// Straddling the window end: dropped.
+			{SrcPage: 0x1004, DstPage: 0x200e, NPages: 4, Rights: cap.RightsAll},
+		},
+	}
+	if err := k.Call(client, 50, msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Delegated != 1 {
+		t.Errorf("delegated = %d, want 1", msg.Delegated)
+	}
+	if len(msg.Delegations) != 0 {
+		t.Error("delegation items not consumed")
+	}
+
+	// The accepted pages are mapped with reduced rights.
+	frame, rights, ok := server.Mem.Translate(0x2002)
+	if !ok {
+		t.Fatal("server missing delegated page")
+	}
+	if frame != 0x402 {
+		t.Errorf("frame = %#x, want 0x402", frame)
+	}
+	if rights != cap.RightRead {
+		t.Errorf("rights = %v, want read-only", rights)
+	}
+	if _, _, ok := server.Mem.Translate(0x9000); ok {
+		t.Error("out-of-window delegation landed")
+	}
+	if _, _, ok := server.Mem.Translate(0x200e); ok {
+		t.Error("straddling delegation landed")
+	}
+
+	// And the client can revoke what it delegated through the message.
+	if n, err := k.RevokeMem(client, 0x1000, 4, false); err != nil || n != 4 {
+		t.Fatalf("revoke: n=%d err=%v", n, err)
+	}
+	if _, _, ok := server.Mem.Translate(0x2000); ok {
+		t.Error("server kept revoked page")
+	}
+}
+
+// TestIPCDelegationRefusedByDefault checks the zero-window default.
+func TestIPCDelegationRefusedByDefault(t *testing.T) {
+	k := newTestKernel(t, Config{})
+	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "client", false)
+	server, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "server", false)
+	k.DelegateMem(k.Root, 0x400, client, 0x1000, 2, cap.RightsAll) //nolint:errcheck
+
+	srvSel := server.Caps.AllocSel()
+	if _, err := k.CreatePortal(server, srvSel, "plain", 1, 0, func(m *UTCB) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	server.Caps.Delegate(srvSel, client.Caps, 50, cap.RightCall) //nolint:errcheck
+	msg := &UTCB{Delegations: []DelegateItem{{SrcPage: 0x1000, DstPage: 0, NPages: 1, Rights: cap.RightsAll}}}
+	if err := k.Call(client, 50, msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Delegated != 0 {
+		t.Error("delegation accepted by a portal with no window")
+	}
+	if server.Mem.Len() != 0 {
+		t.Error("server space not empty")
+	}
+}

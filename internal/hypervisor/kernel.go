@@ -1,0 +1,536 @@
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// PagingMode selects how a VM's memory is virtualized (§5.3).
+type PagingMode int
+
+// Memory virtualization modes.
+const (
+	// ModeEPT uses hardware nested paging: the MMU walks guest and host
+	// page tables in hardware; no paging-related VM exits.
+	ModeEPT PagingMode = iota
+	// ModeVTLB uses shadow page tables maintained by the
+	// microhypervisor; guest page faults, CR writes and INVLPG trap.
+	ModeVTLB
+)
+
+func (m PagingMode) String() string {
+	if m == ModeVTLB {
+		return "vtlb"
+	}
+	return "ept"
+}
+
+// Stats aggregates kernel activity across all domains.
+type Stats struct {
+	Hypercalls     uint64
+	IPCCalls       uint64
+	IPCWords       uint64
+	VMExits        [x86.NumExitReasons]uint64
+	VTLBFills      uint64
+	VTLBFlushes    uint64
+	GuestPageFault uint64 // guest-visible #PF forwarded into the guest
+	HostInterrupts uint64
+	Injections     uint64
+	Recalls        uint64
+	Preemptions    uint64
+	ContextSwitch  uint64
+}
+
+// Config selects global kernel options.
+type Config struct {
+	// UseVPID enables tagged-TLB use on VM transitions when the CPU
+	// supports it (Figure 5's "EPT with/without VPID" comparison).
+	UseVPID bool
+	// MTDOptimization, when false, transfers the full state on every VM
+	// exit instead of the portal's minimal MTD (ablation of §5.2).
+	DisableMTDOpt bool
+	// DirectSwitch, when false, routes every portal call through the
+	// scheduler instead of switching directly on the donated SC
+	// (ablation of the SC-donation design).
+	DisableDirectSwitch bool
+	// DisableVTLBTrick makes the vTLB fill walk the guest page table
+	// without running on the VM's host page table (§5.3's trick): every
+	// guest level then costs an extra software GPA->HPA translation.
+	DisableVTLBTrick bool
+}
+
+// Kernel is the microhypervisor instance for one platform.
+type Kernel struct {
+	Plat *hw.Platform
+	Cfg  Config
+
+	Root *PD
+
+	pds  []*PD
+	ecs  []*EC
+	next cap.Selector // simple allocator for root caps
+
+	runq    []*runqueue // per CPU
+	current []*EC       // per CPU
+	cpu     int         // CPU whose run loop is active
+
+	// Interrupt routing: line → semaphore (driver) or vCPU injection.
+	gsiSem  map[int]*Semaphore
+	gsiVCPU map[int]*gsiRoute
+
+	nextTag hw.TLBTag
+
+	Stats Stats
+
+	// Killed records VMs terminated by the kernel with their reasons
+	// (the isolation scenarios of §4.2 assert on this).
+	Killed []string
+
+	// GuestOwnsPIC is set for the §8.1 "Direct" measurement setup where
+	// a no-exit guest drives the platform interrupt controller itself;
+	// the kernel then keeps its hands off pending interrupts.
+	GuestOwnsPIC bool
+
+	// preempt is set when a wakeup makes a higher-priority SC runnable
+	// so the inner execution loops return to the scheduler.
+	preempt bool
+}
+
+type gsiRoute struct {
+	ec     *EC
+	vector uint8
+}
+
+// New creates a kernel on the platform, claims the hypervisor's own
+// resources, and creates the root PD holding capabilities for
+// everything else (§6).
+func New(plat *hw.Platform, cfg Config) *Kernel {
+	k := &Kernel{
+		Plat:    plat,
+		Cfg:     cfg,
+		gsiSem:  make(map[int]*Semaphore),
+		gsiVCPU: make(map[int]*gsiRoute),
+		nextTag: 1,
+	}
+	for range plat.CPUs {
+		k.runq = append(k.runq, newRunqueue())
+		k.current = append(k.current, nil)
+	}
+
+	// The hypervisor claims its own memory (the first 1 MiB of host
+	// RAM in this model) and the security-critical devices (interrupt
+	// controllers, IOMMU); everything else goes to the root PD.
+	const hvReserved = 1 << 20
+	if plat.IOMMU != nil {
+		plat.IOMMU.BlockRange(0, hvReserved)
+	}
+
+	root := &PD{
+		Name: "root",
+		Caps: cap.NewSpace("root"),
+		Mem:  cap.NewMemSpace("root"),
+		IO:   cap.NewIOSpace("root"),
+		Tag:  0,
+	}
+	rootPages := int((plat.Mem.Size() - hvReserved) / hw.PageSize)
+	if err := root.Mem.InsertRoot(hvReserved/hw.PageSize, hvReserved/hw.PageSize, rootPages, cap.RightRead|cap.RightWrite|cap.RightExec); err != nil {
+		panic(fmt.Sprintf("hypervisor: root memory: %v", err))
+	}
+	root.IO.InsertRoot(0, 0xffff)
+	// Device MMIO windows are delegatable resources too (direct device
+	// assignment maps them into a VM's guest-physical space).
+	for _, w := range []struct {
+		base hw.PhysAddr
+		size uint64
+	}{
+		{hw.AHCIMMIOBase, hw.AHCIMMIOSize},
+		{hw.NICMMIOBase, hw.NICMMIOSize},
+	} {
+		if err := root.Mem.InsertRoot(uint32(w.base>>12), uint64(w.base)>>12, int(w.size/hw.PageSize), cap.RightRead|cap.RightWrite); err != nil {
+			panic(fmt.Sprintf("hypervisor: device windows: %v", err))
+		}
+	}
+	k.Root = root
+	k.pds = append(k.pds, root)
+
+	plat.InterruptHook = func() { /* polled by the run loop */ }
+
+	// Initialize the host PIC the way the kernel's platform driver
+	// would: vectors 0x20/0x28, everything unmasked.
+	pic := plat.PIC
+	pic.PortWrite(0x20, 1, 0x11)
+	pic.PortWrite(0x21, 1, 0x20)
+	pic.PortWrite(0x21, 1, 0x04)
+	pic.PortWrite(0x21, 1, 0x01)
+	pic.PortWrite(0xa0, 1, 0x11)
+	pic.PortWrite(0xa1, 1, 0x28)
+	pic.PortWrite(0xa1, 1, 0x02)
+	pic.PortWrite(0xa1, 1, 0x01)
+	pic.PortWrite(0x21, 1, 0x00)
+	pic.PortWrite(0xa1, 1, 0x00)
+
+	return k
+}
+
+// clock returns the active CPU's clock.
+func (k *Kernel) clock() *hw.Clock { return &k.Plat.CPUs[k.cpu].Clock }
+
+// charge accounts kernel work on the active CPU.
+func (k *Kernel) charge(n hw.Cycles) { k.clock().Charge(n) }
+
+// Now returns the active CPU's time.
+func (k *Kernel) Now() hw.Cycles { return k.clock().Now() }
+
+// ChargeUser accounts user-level compute time (VMM emulation, device
+// model updates, server work) on the active CPU. In a real system this
+// time passes implicitly while the component executes; in the
+// simulation the components are Go code and declare their modeled cost.
+func (k *Kernel) ChargeUser(n hw.Cycles) { k.charge(n) }
+
+// StartSchedulingTimer programs the host PIT as the microhypervisor's
+// preemption timer (§4: "the microhypervisor drives the interrupt
+// controllers of the platform and a scheduling timer"). Each tick that
+// lands while a guest runs costs an external-interrupt VM exit — the
+// "Hardware Interrupts" row of Table 2.
+func (k *Kernel) StartSchedulingTimer(hz int) {
+	reload := hw.PITInputHz / hz
+	if reload > 0xffff {
+		reload = 0xffff
+	}
+	pit := k.Plat.PIT
+	pit.PortWrite(0x43, 1, 0x34)
+	pit.PortWrite(0x40, 1, uint32(reload&0xff))
+	pit.PortWrite(0x40, 1, uint32(reload>>8))
+}
+
+// tagged reports whether VM transitions keep TLB contents (VPID).
+func (k *Kernel) tagged() bool { return k.Cfg.UseVPID && k.Plat.Cost.HasVPID }
+
+// Errors of the hypercall layer.
+var (
+	ErrVMNoHypercalls = errors.New("hypervisor: VMs cannot perform hypercalls")
+	ErrBadCPU         = errors.New("hypervisor: invalid CPU")
+	ErrDead           = errors.New("hypervisor: object destroyed")
+)
+
+// syscallEnter charges the user→kernel transition of a hypercall and
+// enforces that virtual machines never reach the hypercall layer.
+func (k *Kernel) syscallEnter(caller *PD) error {
+	if caller.IsVM {
+		return ErrVMNoHypercalls
+	}
+	k.Stats.Hypercalls++
+	k.charge(k.Plat.Cost.SyscallEntryExit)
+	return nil
+}
+
+// CreatePD creates a protection domain. The creator receives the PD
+// capability at sel in its capability space with full rights; by
+// delegating it (with reduced rights) the creator implements its
+// resource policy (§6).
+func (k *Kernel) CreatePD(caller *PD, sel cap.Selector, name string, isVM bool) (*PD, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	pd := &PD{
+		Name: name,
+		Caps: cap.NewSpace(name),
+		Mem:  cap.NewMemSpace(name),
+		IO:   cap.NewIOSpace(name),
+		IsVM: isVM,
+		Tag:  k.nextTag,
+	}
+	k.nextTag++
+	if err := caller.Caps.Insert(sel, pd, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	k.pds = append(k.pds, pd)
+	return pd, nil
+}
+
+// CreateEC creates an execution context in pd on the given CPU. For
+// thread ECs, run is the body invoked when the EC is dispatched after a
+// wakeup. For vCPUs, use CreateVCPU.
+func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name string, run func()) (*EC, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	if cpu < 0 || cpu >= len(k.Plat.CPUs) {
+		return nil, ErrBadCPU
+	}
+	ec := &EC{Name: name, PD: pd, CPU: cpu, Kind: ECThread, UTCB: &UTCB{}, Run: run}
+	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	k.ecs = append(k.ecs, ec)
+	return ec, nil
+}
+
+// CreateVCPU creates a virtual-CPU execution context in a VM domain.
+// The paging mode selects EPT or vTLB memory virtualization. index is
+// the virtual CPU number; its VM-exit portals live at
+// PortalSelectorFor(reason, index).
+func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name string, mode PagingMode, index int) (*EC, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	if cpu < 0 || cpu >= len(k.Plat.CPUs) {
+		return nil, ErrBadCPU
+	}
+	if !vm.IsVM {
+		return nil, fmt.Errorf("hypervisor: %s is not a VM domain", vm.Name)
+	}
+	ec := &EC{Name: name, PD: vm, CPU: cpu, Kind: ECVCPU, UTCB: &UTCB{}}
+	v := &VCPU{Index: index}
+	v.State.Reset()
+	ic := x86.FullVirt()
+	if mode == ModeVTLB {
+		ic = x86.VTLBVirt()
+		v.Shadow = NewShadowPT()
+	}
+	var env GuestEnv
+	if mode == ModeVTLB {
+		env = newVTLBEnv(k, ec)
+	} else {
+		env = newEPTEnv(k, ec)
+	}
+	v.Env = env
+	v.Interp = x86.NewInterp(env, &v.State, ic)
+	v.Interp.TSC = func() uint64 { return uint64(k.Plat.CPUs[cpu].Clock.Now()) }
+	ec.VCPU = v
+	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	k.ecs = append(k.ecs, ec)
+	return ec, nil
+}
+
+// CreateSC creates a scheduling context attached to ec and enqueues it.
+func (k *Kernel) CreateSC(caller *PD, sel cap.Selector, ec *EC, priority int, quantum hw.Cycles) (*SC, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	sc := &SC{Name: ec.Name, Priority: priority, Quantum: quantum, Left: quantum, EC: ec}
+	if err := caller.Caps.Insert(sel, sc, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	ec.SC = sc
+	if ec.Kind == ECVCPU {
+		ec.runnable = true
+		k.enqueue(sc)
+	}
+	return sc, nil
+}
+
+// CreatePortal creates a portal into caller's domain. For VM-exit
+// portals the VMM later delegates the capability into the VM's
+// capability space at the selector matching the exit reason (§5.2).
+func (k *Kernel) CreatePortal(caller *PD, sel cap.Selector, name string, id uint64, mtd MTD, handle func(msg *UTCB) error) (*Portal, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	pt := &Portal{Name: name, PD: caller, ID: id, MTD: mtd, Handle: handle}
+	if err := caller.Caps.Insert(sel, pt, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// CreateSemaphore creates a counting semaphore.
+func (k *Kernel) CreateSemaphore(caller *PD, sel cap.Selector, name string, initial int64) (*Semaphore, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	sm := &Semaphore{Name: name, Counter: initial}
+	if err := caller.Caps.Insert(sel, sm, cap.RightsAll); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+// DelegateCap transfers a capability from caller's space (§6). This is
+// the hypercall form; during IPC, delegation can also ride in the
+// message transfer descriptor.
+func (k *Kernel) DelegateCap(caller *PD, src cap.Selector, dst *PD, dstSel cap.Selector, mask cap.Rights) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	return caller.Caps.Delegate(src, dst.Caps, dstSel, mask)
+}
+
+// RevokeCap recursively withdraws delegations of caller's capability.
+func (k *Kernel) RevokeCap(caller *PD, sel cap.Selector, self bool) (int, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return 0, err
+	}
+	return caller.Caps.Revoke(sel, self)
+}
+
+// DelegateMem transfers memory pages between domains.
+func (k *Kernel) DelegateMem(caller *PD, srcPage uint32, dst *PD, dstPage uint32, npages int, mask cap.Rights) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	return caller.Mem.Delegate(srcPage, dst.Mem, dstPage, npages, mask)
+}
+
+// RevokeMem withdraws memory delegations.
+func (k *Kernel) RevokeMem(caller *PD, page uint32, npages int, self bool) (int, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return 0, err
+	}
+	n := caller.Mem.Revoke(page, npages, self)
+	// Any cached host translations for the affected domains are stale.
+	k.Plat.CPUs[k.cpu].TLB.FlushAll()
+	return n, nil
+}
+
+// DelegateIO transfers I/O port access.
+func (k *Kernel) DelegateIO(caller *PD, dst *PD, lo, hi uint16) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	return caller.IO.Delegate(dst.IO, lo, hi)
+}
+
+// AssignGSI routes a hardware interrupt line to a semaphore: each
+// occurrence performs an up operation, waking the driver EC blocked on
+// it (§5: "the hypervisor uses semaphores to signal the occurrence of
+// hardware interrupts to user applications").
+func (k *Kernel) AssignGSI(caller *PD, line int, sm *Semaphore) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if !caller.IO.Allowed(uint16(line)) && caller != k.Root {
+		return cap.ErrNoRights
+	}
+	k.gsiSem[line] = sm
+	delete(k.gsiVCPU, line)
+	return nil
+}
+
+// AssignGSIToVM routes a hardware interrupt line directly to a vCPU for
+// device passthrough: the kernel injects the given vector instead of
+// waking a driver (§8.2 "Direct" configuration). The IOMMU's interrupt
+// remapping must permit the device to use the vector.
+func (k *Kernel) AssignGSIToVM(caller *PD, line int, ec *EC, vector uint8) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if ec.Kind != ECVCPU {
+		return fmt.Errorf("hypervisor: GSI target %s is not a vCPU", ec.Name)
+	}
+	k.gsiVCPU[line] = &gsiRoute{ec: ec, vector: vector}
+	delete(k.gsiSem, line)
+	return nil
+}
+
+// Recall forces a virtual CPU to take a VM exit so the VMM can inject a
+// pending interrupt in a timely manner (§7.5).
+func (k *Kernel) Recall(caller *PD, ec *EC) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if ec.Kind != ECVCPU {
+		return fmt.Errorf("hypervisor: recall target %s is not a vCPU", ec.Name)
+	}
+	k.Stats.Recalls++
+	ec.VCPU.RecallPending = true
+	k.wakeVCPU(ec)
+	return nil
+}
+
+// InjectIRQ is the VMM-side reply path for interrupt injection outside
+// a VM exit: it queues the vector and recalls the vCPU if it is
+// currently running with the window closed.
+func (k *Kernel) InjectIRQ(caller *PD, ec *EC, vector uint8) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	v := ec.VCPU
+	v.PendingVector = vector
+	v.PendingValid = true
+	k.wakeVCPU(ec)
+	return nil
+}
+
+// wakeVCPU makes a blocked (halted) vCPU runnable again.
+func (k *Kernel) wakeVCPU(ec *EC) {
+	if ec.SC != nil && !ec.runnable && !ec.dead {
+		ec.runnable = true
+		k.enqueue(ec.SC)
+	}
+}
+
+// DestroyPD tears a protection domain down: its capability space is
+// destroyed (revoking everything it delegated), its memory revoked, and
+// its ECs killed. The creator uses this to reclaim a crashed VMM or VM.
+func (k *Kernel) DestroyPD(caller *PD, pd *PD) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	pd.dead = true
+	pd.Caps.Destroy()
+	pd.Mem.Destroy()
+	for _, ec := range k.ecs {
+		if ec.PD == pd {
+			ec.dead = true
+			ec.runnable = false
+		}
+	}
+	return nil
+}
+
+// SemUp performs the semaphore up operation (hypercall form).
+func (k *Kernel) SemUp(caller *PD, sm *Semaphore) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	k.semUp(sm)
+	return nil
+}
+
+// semUp is the kernel-internal up operation, also used for interrupt
+// delivery.
+func (k *Kernel) semUp(sm *Semaphore) {
+	sm.Ups++
+	if len(sm.waiters) > 0 {
+		ec := sm.waiters[0]
+		sm.waiters = sm.waiters[1:]
+		ec.waitingOn = nil
+		if !ec.dead {
+			ec.runnable = true
+			if ec.SC != nil {
+				k.enqueue(ec.SC)
+				cur := k.current[k.cpu]
+				if cur == nil || cur.SC == nil || ec.SC.Priority > cur.SC.Priority {
+					k.preempt = true
+					k.Stats.Preemptions++
+				}
+			}
+		}
+		return
+	}
+	sm.Counter++
+}
+
+// SemDown blocks the calling EC until the semaphore is available. In
+// this event-driven model, thread ECs call SemDownAsync to register and
+// return; their Run body is re-invoked after the wakeup.
+func (k *Kernel) SemDownAsync(caller *PD, ec *EC, sm *Semaphore) bool {
+	k.Stats.Hypercalls++
+	k.charge(k.Plat.Cost.SyscallEntryExit)
+	sm.Downs++
+	if sm.Counter > 0 {
+		sm.Counter--
+		return true // immediately acquired; EC keeps running
+	}
+	ec.runnable = false
+	ec.waitingOn = sm
+	sm.waiters = append(sm.waiters, ec)
+	return false
+}

@@ -1,0 +1,142 @@
+// Package hypervisor implements the NOVA microhypervisor (§5): the five
+// kernel object types (protection domains, execution contexts,
+// scheduling contexts, portals, semaphores), the capability-based
+// hypercall interface, portal IPC with scheduling-context donation and
+// reply capabilities, per-CPU priority round-robin scheduling, host
+// memory management with hardware nested paging (EPT) or the software
+// virtual-TLB algorithm (§5.3), VM-exit dispatch through per-event
+// portals with message transfer descriptors, and semaphore-based
+// interrupt delivery.
+//
+// It is the only component of this repository that plays the "ring 0,
+// host mode" role; everything in internal/vmm and internal/services is
+// deprivileged user-level code that can only enter the kernel through
+// the hypercall methods.
+package hypervisor
+
+import (
+	"nova/internal/cap"
+	"nova/internal/x86"
+)
+
+// MTD is a message transfer descriptor: a bitmask selecting which groups
+// of guest state the microhypervisor transfers through a portal on a VM
+// exit. Configuring each event's portal with the minimal MTD is the
+// §5.2 performance optimization that avoids reading the whole VMCS.
+type MTD uint32
+
+// MTD state groups, with the approximate number of VMCS fields each
+// group costs to read/write.
+const (
+	MTDGPR    MTD = 1 << iota // general-purpose registers
+	MTDEIP                    // instruction pointer + length
+	MTDEFLAGS                 // flags
+	MTDESP                    // stack pointer
+	MTDSeg                    // segment registers
+	MTDCR                     // control registers
+	MTDDT                     // GDTR/IDTR
+	MTDQual                   // exit qualification
+	MTDInj                    // event injection
+	MTDSTA                    // interruptibility state
+	MTDTSC                    // time-stamp counter
+
+	// MTDAll transfers everything (the unoptimized configuration the
+	// MTD ablation benchmark compares against).
+	MTDAll MTD = MTDGPR | MTDEIP | MTDEFLAGS | MTDESP | MTDSeg | MTDCR |
+		MTDDT | MTDQual | MTDInj | MTDSTA | MTDTSC
+)
+
+// fieldCounts approximates how many VMCS fields each group comprises.
+var fieldCounts = map[MTD]int{
+	MTDGPR: 8, MTDEIP: 2, MTDEFLAGS: 1, MTDESP: 1, MTDSeg: 12, MTDCR: 4,
+	MTDDT: 4, MTDQual: 2, MTDInj: 2, MTDSTA: 1, MTDTSC: 1,
+}
+
+// FieldCount returns the number of VMCS fields selected by the MTD —
+// the number of VMREAD/VMWRITE operations the transfer costs.
+func (m MTD) FieldCount() int {
+	n := 0
+	for bit, c := range fieldCounts {
+		if m&bit != 0 {
+			n += c
+		}
+	}
+	return n
+}
+
+// DelegateItem is a typed message item requesting a memory delegation
+// during IPC (§6: "the sender specifies in the message transfer
+// descriptor one or more regions of its memory space ... and can
+// optionally reduce the access permissions during the transfer").
+type DelegateItem struct {
+	SrcPage uint32 // page in the sender's memory space
+	DstPage uint32 // requested page in the receiver's space
+	NPages  int
+	Rights  cap.Rights // mask applied during transfer
+}
+
+// UTCB is the user thread control block: the per-EC message buffer
+// through which IPC payloads and VM-exit state travel. Only the groups
+// selected by MTD are valid in State.
+type UTCB struct {
+	// Words carries protocol-specific arguments for client/server IPC.
+	Words []uint64
+
+	// Delegations are processed by the kernel during the portal call:
+	// each item lands in the receiver's memory space if (and only if)
+	// it falls inside the window the receiver declared on its portal.
+	// Accepted items are recorded in Delegated.
+	Delegations []DelegateItem
+	Delegated   int
+
+	// VM-exit messages.
+	MTD   MTD
+	State x86.CPUState
+	Exit  x86.VMExit
+
+	// Injection request from the VMM back to the vCPU (MTDInj).
+	InjectVector  uint8
+	InjectValid   bool
+	WindowRequest bool // VMM asks for an interrupt-window exit
+}
+
+// CopyState copies the MTD-selected groups from src into dst. This is
+// what the microhypervisor does on both directions of a VM-exit portal
+// traversal.
+func CopyState(dst, src *x86.CPUState, m MTD) {
+	if m&MTDGPR != 0 {
+		gpr := src.GPR
+		if m&MTDESP == 0 {
+			gpr[x86.ESP] = dst.GPR[x86.ESP]
+		}
+		dst.GPR = gpr
+	} else if m&MTDESP != 0 {
+		dst.GPR[x86.ESP] = src.GPR[x86.ESP]
+	}
+	if m&MTDEIP != 0 {
+		dst.EIP = src.EIP
+	}
+	if m&MTDEFLAGS != 0 {
+		dst.EFLAGS = src.EFLAGS
+	}
+	if m&MTDSeg != 0 {
+		dst.Seg = src.Seg
+	}
+	if m&MTDCR != 0 {
+		dst.CR0, dst.CR2, dst.CR3, dst.CR4 = src.CR0, src.CR2, src.CR3, src.CR4
+	}
+	if m&MTDDT != 0 {
+		dst.GDTR, dst.IDTR = src.GDTR, src.IDTR
+	}
+	if m&MTDSTA != 0 {
+		dst.IntShadow = src.IntShadow
+		dst.Halted = src.Halted
+	}
+	if m&MTDTSC != 0 {
+		dst.TSC = src.TSC
+	}
+}
+
+// WordCount returns how many 32-bit words the MTD-selected state
+// occupies in the UTCB (for the per-word IPC transfer cost).
+func (m MTD) WordCount() int { return m.FieldCount() }

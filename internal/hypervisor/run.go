@@ -1,0 +1,267 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// BindECToSemaphore makes a thread EC block on sm between runs: the
+// driver pattern of down → handle → down. If the semaphore already has
+// signals queued, the EC becomes runnable immediately.
+func (k *Kernel) BindECToSemaphore(ec *EC, sm *Semaphore) {
+	ec.WaitSem = sm
+	k.blockOnSem(ec, sm)
+}
+
+func (k *Kernel) blockOnSem(ec *EC, sm *Semaphore) {
+	sm.Downs++
+	if sm.Counter > 0 {
+		sm.Counter--
+		ec.runnable = true
+		if ec.SC != nil {
+			k.enqueue(ec.SC)
+		}
+		return
+	}
+	ec.runnable = false
+	ec.waitingOn = sm
+	sm.waiters = append(sm.waiters, ec)
+}
+
+// Run executes the system until the given time, or until nothing can
+// ever run again (no runnable ECs and no pending events). It returns
+// the reason it stopped.
+func (k *Kernel) Run(until hw.Cycles) string {
+	for {
+		clk := k.clock()
+		if clk.Now() >= until {
+			return "deadline"
+		}
+		k.Plat.RunEventsUntil(clk.Now())
+		if !k.GuestOwnsPIC {
+			k.handleHostInterrupts(nil)
+		}
+
+		sc := k.runq[k.cpu].pop()
+		if sc == nil {
+			// Idle: skip to the next event.
+			if k.Plat.Queue.Empty() {
+				return "idle"
+			}
+			t := k.Plat.Queue.NextTime()
+			if t > until {
+				clk.AdvanceTo(until)
+				return "deadline"
+			}
+			clk.AdvanceTo(t)
+			continue
+		}
+		ec := sc.EC
+		if ec.dead || !ec.runnable {
+			continue
+		}
+		k.current[k.cpu] = ec
+		k.preempt = false
+
+		switch ec.Kind {
+		case ECThread:
+			k.Stats.ContextSwitch++
+			ec.runnable = false
+			if ec.Run != nil {
+				ec.Run()
+			}
+			if ec.WaitSem != nil && !ec.dead {
+				k.blockOnSem(ec, ec.WaitSem)
+			}
+		case ECVCPU:
+			slice := sc.Left
+			if slice == 0 {
+				slice = sc.Quantum
+			}
+			deadline := clk.Now() + slice
+			if deadline > until {
+				deadline = until
+			}
+			start := clk.Now()
+			k.runVCPU(ec, deadline)
+			used := clk.Now() - start
+			if used >= sc.Left {
+				sc.Left = sc.Quantum // fresh quantum, back of the level
+			} else {
+				sc.Left -= used
+			}
+			if ec.runnable && !ec.dead {
+				k.enqueue(sc)
+			}
+		}
+		k.current[k.cpu] = nil
+	}
+}
+
+// RunAll runs every CPU's scheduler in interleaved slices until the
+// deadline, for multiprocessor configurations. CPU clocks advance
+// independently; cross-CPU interactions (recall, semaphores) take
+// effect when the target CPU's loop resumes.
+func (k *Kernel) RunAll(until hw.Cycles) {
+	const window = 200000 // interleave granularity in cycles
+	for {
+		progress := false
+		for cpu := range k.Plat.CPUs {
+			k.cpu = cpu
+			now := k.Plat.CPUs[cpu].Clock.Now()
+			if now >= until {
+				continue
+			}
+			end := now + window
+			if end > until {
+				end = until
+			}
+			reason := k.Run(end)
+			if reason == "deadline" {
+				progress = true
+			}
+		}
+		k.cpu = 0
+		if !progress {
+			return
+		}
+	}
+}
+
+// runVCPU executes a virtual CPU until its slice expires, it blocks, or
+// a higher-priority EC preempts it.
+func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
+	v := ec.VCPU
+	clk := k.clock()
+	cost := k.Plat.Cost
+
+	for clk.Now() < deadline && !ec.dead {
+		k.Plat.RunEventsUntil(clk.Now())
+		if k.preempt {
+			k.Stats.Preemptions++
+			return
+		}
+		if k.Plat.PIC.HasPending() {
+			if v.NoExitDelivery {
+				// §8.1 "Direct": the guest owns the platform interrupt
+				// controller; deliver without leaving guest mode.
+				if v.Interp.Interruptible() {
+					if vec, ok := k.Plat.PIC.Acknowledge(); ok {
+						v.InjectedIRQs++
+						if err := v.Interp.Interrupt(vec); err != nil {
+							k.handleGuestRunError(ec, err)
+						}
+					}
+					continue
+				}
+				if v.State.Halted {
+					// Halted with IF=0 would wedge; fall through to the
+					// halt handling below.
+					k.killVM(ec, "halted with interrupts disabled") //nolint:errcheck
+					return
+				}
+				// Not interruptible yet: execute until the window opens.
+			} else {
+				k.handleHostInterrupts(ec)
+				if k.preempt {
+					return
+				}
+				continue
+			}
+		}
+		if v.RecallPending {
+			v.RecallPending = false
+			if err := k.dispatchExit(ec, &x86.VMExit{Reason: x86.ExitRecall}); err != nil {
+				return
+			}
+			continue
+		}
+		if v.PendingValid {
+			if v.Interruptible() {
+				if v.WindowWanted {
+					// The VMM asked to be notified when the window
+					// opens (§8.2's extra exit per interrupt).
+					v.WindowWanted = false
+					if err := k.dispatchExit(ec, &x86.VMExit{Reason: x86.ExitInterruptWindow}); err != nil {
+						return
+					}
+					if !v.PendingValid || !v.Interruptible() {
+						continue
+					}
+				}
+				v.PendingValid = false
+				v.State.Halted = false
+				k.Stats.Injections++
+				v.InjectedIRQs++
+				k.charge(2 * cost.VMRead) // event-injection VMWRITEs
+				if err := v.Interp.Interrupt(v.PendingVector); err != nil {
+					k.handleGuestRunError(ec, err)
+					continue
+				}
+			} else if !v.State.Halted {
+				v.WindowWanted = true
+			}
+		}
+		if v.State.Halted {
+			if v.NoExitDelivery {
+				// The guest owns the interrupt hardware: idle to the
+				// next platform event like a bare-metal CPU.
+				if k.Plat.Queue.Empty() {
+					ec.runnable = false
+					return
+				}
+				t := k.Plat.Queue.NextTime()
+				if t > deadline {
+					clk.AdvanceTo(deadline)
+					return
+				}
+				clk.AdvanceTo(t)
+				continue
+			}
+			// HLT with nothing to deliver: the vCPU blocks until the
+			// VMM injects or recalls.
+			if !v.PendingValid {
+				ec.runnable = false
+				return
+			}
+			if !v.Interruptible() {
+				// HLT with IF=0 and no NMI support: wedged guest.
+				k.killVM(ec, "halted with interrupts disabled") //nolint:errcheck
+				return
+			}
+			continue
+		}
+
+		before := v.Interp.InstRet
+		extraBefore := v.Interp.ExtraCycles
+		err := v.Interp.Step()
+		retired := v.Interp.InstRet - before
+		if retired == 0 {
+			retired = 1
+		}
+		clk.Charge(hw.Cycles(retired)*cost.InstructionCost + hw.Cycles(v.Interp.ExtraCycles-extraBefore))
+		if err != nil {
+			k.handleGuestRunError(ec, err)
+		}
+	}
+	if k.preempt {
+		k.Stats.Preemptions++
+	}
+}
+
+// handleGuestRunError routes interpreter errors: VM exits go to the
+// portal dispatcher, anything else kills the VM.
+func (k *Kernel) handleGuestRunError(ec *EC, err error) {
+	if exit, ok := err.(*x86.VMExit); ok {
+		k.dispatchExit(ec, exit) //nolint:errcheck // dispatch kills the VM on failure
+		return
+	}
+	k.killVM(ec, fmt.Sprintf("guest execution error: %v", err)) //nolint:errcheck
+}
+
+// Interruptible reports whether the vCPU can accept an interrupt now.
+func (v *VCPU) Interruptible() bool {
+	return v.State.IF() && !v.State.IntShadow
+}

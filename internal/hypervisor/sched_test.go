@@ -1,0 +1,156 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// spinVM builds a VM whose guest spins forever, for scheduler tests.
+func spinVM(t *testing.T, k *Kernel, name string, basePage uint32, prio int, quantum hw.Cycles) *testVM {
+	t.Helper()
+	vmm, err := k.CreatePD(k.Root, nextSel(), "vmm-"+name, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := k.CreatePD(vmm, nextSel(), name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := &testVM{k: k, vmm: vmm, vm: vm, base: uint64(basePage) << 12}
+	if err := k.DelegateMem(k.Root, basePage, vmm, basePage, 16, cap.RightsAll); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DelegateMem(vmm, basePage, vm, 0, 16, cap.RightsAll); err != nil {
+		t.Fatal(err)
+	}
+	code := x86.MustAssemble(`bits 16
+org 0x7c00
+spin:
+	mov eax, [0x6000]
+	inc eax
+	mov [0x6000], eax
+	jmp spin`)
+	k.Plat.Mem.WriteBytes(hw.PhysAddr(tv.base+0x7c00), code)
+	ec, err := k.CreateVCPU(vmm, nextSel(), vm, 0, name+"-vcpu", ModeEPT, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv.ec = ec
+	ec.VCPU.State.EIP = 0x7c00
+	// A portal set that never fires (the spin loop is exit-free).
+	for r := x86.ExitReason(0); int(r) < x86.NumExitReasons; r++ {
+		sel := nextSel()
+		if _, err := k.CreatePortal(vmm, sel, "p", uint64(r), 0, func(m *UTCB) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := vmm.Caps.Delegate(sel, vm.Caps, PortalSelector(r), cap.RightCall); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.CreateSC(vmm, nextSel(), ec, prio, quantum); err != nil {
+		t.Fatal(err)
+	}
+	return tv
+}
+
+// TestFairSharingEqualPriority checks the §5.1 policy: two VMs with
+// equal priority and quantum share the CPU round-robin, each making
+// roughly half the progress (and §9's fair-resource-scheduling goal).
+func TestFairSharingEqualPriority(t *testing.T) {
+	k := newTestKernel(t, Config{UseVPID: true})
+	a := spinVM(t, k, "vm-a", 0x200, 10, 100_000)
+	b := spinVM(t, k, "vm-b", 0x400, 10, 100_000)
+
+	k.Run(k.Now() + 4_000_000)
+
+	pa := a.readGuest32(0x6000)
+	pb := b.readGuest32(0x6000)
+	if pa == 0 || pb == 0 {
+		t.Fatalf("progress a=%d b=%d", pa, pb)
+	}
+	ratio := float64(pa) / float64(pb)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair split: a=%d b=%d (ratio %.2f)", pa, pb, ratio)
+	}
+}
+
+// TestPriorityStarvesLower checks strict priority: the higher-priority
+// VM monopolizes the CPU (§5.1: "no execution context can monopolize
+// the CPU" applies within a priority level via quanta; across levels
+// priority wins).
+func TestPriorityStarvesLower(t *testing.T) {
+	k := newTestKernel(t, Config{UseVPID: true})
+	hi := spinVM(t, k, "vm-hi", 0x200, 50, 100_000)
+	lo := spinVM(t, k, "vm-lo", 0x400, 5, 100_000)
+
+	k.Run(k.Now() + 2_000_000)
+
+	ph := hi.readGuest32(0x6000)
+	pl := lo.readGuest32(0x6000)
+	if ph == 0 {
+		t.Fatal("high-priority VM made no progress")
+	}
+	if pl != 0 {
+		t.Errorf("low-priority VM ran (%d iterations) while high was runnable", pl)
+	}
+}
+
+// TestQuantumProportionalSharing checks that unequal quanta at equal
+// priority split the CPU proportionally (the fair-scheduling direction
+// the paper names as future work, §9).
+func TestQuantumProportionalSharing(t *testing.T) {
+	k := newTestKernel(t, Config{UseVPID: true})
+	big := spinVM(t, k, "vm-big", 0x200, 10, 300_000)
+	small := spinVM(t, k, "vm-small", 0x400, 10, 100_000)
+
+	k.Run(k.Now() + 8_000_000)
+
+	pb := big.readGuest32(0x6000)
+	ps := small.readGuest32(0x6000)
+	if pb == 0 || ps == 0 {
+		t.Fatalf("progress big=%d small=%d", pb, ps)
+	}
+	ratio := float64(pb) / float64(ps)
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Errorf("quantum split off: big=%d small=%d ratio=%.2f, want ~3", pb, ps, ratio)
+	}
+}
+
+// TestMemoryRevocationUnderExecution revokes a running guest's memory:
+// the next access becomes an EPT violation delivered to the VMM —
+// revocation takes effect even against an executing VM (§6).
+func TestMemoryRevocationUnderExecution(t *testing.T) {
+	k := newTestKernel(t, Config{UseVPID: true})
+	violations := 0
+	tv := makeVM(t, k, ModeEPT, 16, x86.MustAssemble(`bits 16
+org 0x7c00
+spin:
+	mov eax, [0x6000]
+	inc eax
+	mov [0x6000], eax
+	jmp spin`), 0x7c00, map[x86.ExitReason]func(*testVM, *UTCB) error{
+		x86.ExitEPTViolation: func(tv *testVM, m *UTCB) error {
+			violations++
+			m.State.Halted = true // stop the guest; the VMM would re-map
+			return nil
+		},
+	})
+	k.Run(k.Now() + 300_000)
+	if tv.readGuest32(0x6000) == 0 {
+		t.Fatal("guest never ran")
+	}
+	// The VMM revokes the guest's memory (e.g., reclaiming it).
+	if _, err := k.RevokeMem(tv.vmm, 0x200, 16, false); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(k.Now() + 300_000)
+	if violations == 0 {
+		t.Fatal("no EPT violation after revocation")
+	}
+	if !tv.ec.VCPU.State.Halted {
+		t.Error("guest kept running on revoked memory")
+	}
+}

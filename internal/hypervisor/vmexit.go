@@ -1,0 +1,217 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+// PortalSelector returns the conventional capability-space selector at
+// which a VM's portal for the given exit reason is installed. During VM
+// creation the VMM delegates one portal capability per event type into
+// the VM's capability space (§5.2).
+func PortalSelector(r x86.ExitReason) cap.Selector { return cap.Selector(r) }
+
+// PortalSelectorFor is the multiprocessor form: every virtual CPU has
+// its own set of VM-exit portals and a dedicated handler (§7.5).
+func PortalSelectorFor(r x86.ExitReason, vcpu int) cap.Selector {
+	return cap.Selector(vcpu)*32 + cap.Selector(r)
+}
+
+// dispatchExit delivers a VM exit to the handler its portal designates.
+// vTLB-maintenance events are handled inside the microhypervisor; all
+// other events travel to the user-level VMM as an IPC message carrying
+// the MTD-selected guest state (§5.2, §8.4).
+func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
+	v := ec.VCPU
+	v.Exits[exit.Reason]++
+	k.Stats.VMExits[exit.Reason]++
+	cost := k.Plat.Cost
+
+	// World switch guest -> host (+ the TLB flush if untagged; the
+	// refill cost then emerges from subsequent misses).
+	k.charge(cost.VMTransitCost(k.tagged()))
+	v.Env.FlushOnWorldSwitch()
+
+	// vTLB-related intercepts never leave the kernel (§8.4: "all
+	// virtualization events, except for those related to the virtual
+	// TLB, require a message to be sent to the VMM").
+	if v.Shadow != nil && k.handleVTLBExit(ec, exit) {
+		v.Env.FlushOnWorldSwitch()
+		k.charge(cost.VMTransitCost(k.tagged()) / 8) // resume tail
+		return nil
+	}
+
+	c, err := ec.PD.Caps.LookupTyped(PortalSelectorFor(exit.Reason, v.Index), cap.ObjPortal, cap.RightCall)
+	if err != nil {
+		return k.killVM(ec, fmt.Sprintf("no portal for %v (vcpu %d): %v", exit.Reason, v.Index, err))
+	}
+	pt := c.Obj.(*Portal)
+	if pt.dead || pt.PD.dead {
+		return k.killVM(ec, fmt.Sprintf("portal for %v leads to dead domain", exit.Reason))
+	}
+
+	mtd := pt.MTD
+	if k.Cfg.DisableMTDOpt {
+		mtd = MTDAll
+	}
+	// Reading the selected state out of the VMCS (§5.2: the MTD
+	// "minimizes the amount of state that must be read from the VMCS").
+	k.charge(hw.Cycles(mtd.FieldCount()) * cost.VMRead)
+
+	utcb := ec.UTCB
+	utcb.MTD = mtd
+	utcb.Exit = *exit
+	utcb.State = x86.CPUState{}
+	CopyState(&utcb.State, &v.State, mtd)
+	utcb.InjectValid = false
+	utcb.WindowRequest = false
+
+	if err := k.portalCall(ec.PD, pt, utcb, mtd.WordCount()); err != nil {
+		return k.killVM(ec, fmt.Sprintf("VMM handler for %v failed: %v", exit.Reason, err))
+	}
+
+	// Install the reply state (VMWRITEs) and resume.
+	k.charge(hw.Cycles(mtd.FieldCount()) * cost.VMRead)
+	eipBefore := v.State.EIP
+	CopyState(&v.State, &utcb.State, mtd)
+	if v.State.EIP != eipBefore {
+		// The VMM skipped or emulated the exiting instruction, so any
+		// STI/MOV-SS interrupt shadow has architecturally expired.
+		v.State.IntShadow = false
+	}
+	if utcb.InjectValid {
+		v.PendingValid = true
+		v.PendingVector = utcb.InjectVector
+	}
+	if utcb.WindowRequest {
+		v.WindowWanted = true
+	}
+	v.Env.FlushOnWorldSwitch()
+	return nil
+}
+
+// handleVTLBExit processes CR accesses and INVLPG for shadow-paging
+// VMs entirely inside the kernel (§5.3). It reports whether the event
+// was consumed.
+func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
+	v := ec.VCPU
+	cost := k.Plat.Cost
+	tlb := k.Plat.CPUs[ec.CPU].TLB
+	switch exit.Reason {
+	case x86.ExitCRAccess:
+		k.charge(6 * cost.VMRead)
+		if exit.CRWrite {
+			switch exit.CR {
+			case 0:
+				flush := (v.State.CR0^exit.CRVal)&(x86.CR0PG|x86.CR0PE|x86.CR0WP) != 0
+				v.State.CR0 = exit.CRVal
+				if flush {
+					v.Shadow.Flush()
+					tlb.FlushTag(ec.PD.Tag)
+					k.Stats.VTLBFlushes++
+				}
+			case 3:
+				v.State.CR3 = exit.CRVal
+				v.Shadow.Flush()
+				tlb.FlushTag(ec.PD.Tag)
+				k.Stats.VTLBFlushes++
+				k.charge(hw.Cycles(v.Shadow.Len()) / 4)
+			case 4:
+				v.State.CR4 = exit.CRVal
+				v.Shadow.Flush()
+				tlb.FlushTag(ec.PD.Tag)
+				k.Stats.VTLBFlushes++
+			case 2:
+				v.State.CR2 = exit.CRVal
+			}
+		} else {
+			var val uint32
+			switch exit.CR {
+			case 0:
+				val = v.State.CR0
+			case 2:
+				val = v.State.CR2
+			case 3:
+				val = v.State.CR3
+			case 4:
+				val = v.State.CR4
+			}
+			v.State.GPR[exit.CRGPR] = val
+		}
+		v.State.EIP += uint32(exit.InstLen)
+		return true
+	case x86.ExitINVLPG:
+		k.charge(6 * cost.VMRead)
+		v.Shadow.Invalidate(exit.Linear)
+		tlb.FlushVA(ec.PD.Tag, exit.Linear)
+		v.State.EIP += uint32(exit.InstLen)
+		return true
+	}
+	return false
+}
+
+// killVM terminates a virtual machine after an unrecoverable condition.
+// Isolation holds: only this VM (and its VMM association) is affected.
+func (k *Kernel) killVM(ec *EC, reason string) error {
+	ec.dead = true
+	ec.runnable = false
+	k.Killed = append(k.Killed, fmt.Sprintf("%s: %s", ec.Name, reason))
+	return fmt.Errorf("hypervisor: VM %s killed: %s", ec.Name, reason)
+}
+
+// vectorToLine maps a host interrupt vector back to its IRQ line under
+// the kernel's PIC programming (master base 0x20, slave base 0x28).
+func vectorToLine(vec uint8) int {
+	switch {
+	case vec >= 0x20 && vec < 0x28:
+		return int(vec - 0x20)
+	case vec >= 0x28 && vec < 0x30:
+		return int(vec-0x28) + 8
+	}
+	return -1
+}
+
+// handleHostInterrupts drains pending host interrupts. If they arrive
+// while a guest runs, each one forces a VM exit first (§8.2 "each
+// hardware interrupt causes a VM exit"). Interrupts are then routed per
+// AssignGSI: a semaphore-up for driver ECs, or direct injection for
+// passthrough VMs.
+func (k *Kernel) handleHostInterrupts(guest *EC) {
+	for k.Plat.PIC.HasPending() {
+		vec, ok := k.Plat.PIC.Acknowledge()
+		if !ok {
+			return
+		}
+		k.Stats.HostInterrupts++
+		cost := k.Plat.Cost
+		if guest != nil {
+			guest.VCPU.Exits[x86.ExitExternalInterrupt]++
+			k.Stats.VMExits[x86.ExitExternalInterrupt]++
+			k.charge(cost.VMTransitCost(k.tagged()))
+			guest.VCPU.Env.FlushOnWorldSwitch()
+		}
+		// Kernel interrupt path: vector dispatch, EOI at the PIC.
+		k.charge(cost.SyscallEntryExit / 2)
+		line := vectorToLine(vec)
+		if line >= 8 {
+			k.Plat.PIC.PortWrite(0xa0, 1, 0x20)
+		}
+		k.Plat.PIC.PortWrite(0x20, 1, 0x20)
+		if line < 0 {
+			continue
+		}
+		if r, ok := k.gsiVCPU[line]; ok && !r.ec.dead {
+			v := r.ec.VCPU
+			v.PendingValid = true
+			v.PendingVector = r.vector
+			k.wakeVCPU(r.ec)
+			continue
+		}
+		if sm, ok := k.gsiSem[line]; ok {
+			k.semUp(sm)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package services
+
+import (
+	"encoding/binary"
+
+	"nova/internal/cap"
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+)
+
+// NetServer owns the host network controller (§4: the user environment
+// provides network stacks to the rest of the system). Its interrupt EC
+// harvests the receive ring and copies packets into per-client queues;
+// clients are woken through their doorbell semaphores. Like the disk
+// server, the controller's DMA is confined by an IOMMU domain to the
+// server's own ring and buffers — a malformed or malicious packet can
+// at worst corrupt the server (§4.2 "Remote Attacks"), never the rest
+// of the system.
+type NetServer struct {
+	K  *hypervisor.Kernel
+	PD *hypervisor.PD
+
+	ringBase uint64 // host-physical ring (64 descriptors)
+	bufBase  uint64 // 64 x 2 KiB buffers
+	slots    int
+	head     uint32
+
+	irqSem *hypervisor.Semaphore
+
+	clients map[uint64]*netClient
+	nextID  uint64
+
+	// MaxQueued bounds each client's backlog; beyond it packets drop
+	// (backpressure instead of unbounded memory).
+	MaxQueued int
+
+	Stats struct {
+		Packets   uint64
+		Bytes     uint64
+		Delivered uint64
+		Dropped   uint64
+		Truncated uint64
+		IRQs      uint64
+	}
+}
+
+type netClient struct {
+	name     string
+	pd       *hypervisor.PD
+	doorbell *hypervisor.Semaphore
+	queue    [][]byte
+}
+
+const netBufSize = 2048
+
+// NewNetServer creates the server, programs the host NIC and wires its
+// interrupt.
+func NewNetServer(k *hypervisor.Kernel, memPage uint32) (*NetServer, error) {
+	pd, err := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "net-server", false)
+	if err != nil {
+		return nil, err
+	}
+	const slots = 64
+	ns := &NetServer{
+		K: k, PD: pd,
+		ringBase:  uint64(memPage) << 12,
+		bufBase:   uint64(memPage)<<12 + hw.PageSize,
+		slots:     slots,
+		clients:   make(map[uint64]*netClient),
+		MaxQueued: 256,
+	}
+	// 1 page ring + 32 pages of buffers.
+	if err := k.DelegateMem(k.Root, memPage, pd, memPage, 33, cap.RightRead|cap.RightWrite); err != nil {
+		return nil, err
+	}
+
+	sem, err := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "nic-irq", 0)
+	if err != nil {
+		return nil, err
+	}
+	ns.irqSem = sem
+	ec, err := k.CreateEC(k.Root, k.Root.Caps.AllocSel(), pd, 0, "net-irq", nil)
+	if err != nil {
+		return nil, err
+	}
+	ec.Run = ns.handleIRQ
+	if _, err := k.CreateSC(k.Root, k.Root.Caps.AllocSel(), ec, 40, 1_000_000); err != nil {
+		return nil, err
+	}
+	k.BindECToSemaphore(ec, sem)
+	if err := k.AssignGSI(k.Root, hw.IRQNIC, sem); err != nil {
+		return nil, err
+	}
+
+	if k.Plat.IOMMU != nil {
+		dom := hw.NewIOMMUDomain("net-server")
+		if err := dom.Map(ns.ringBase, ns.ringBase, 33*hw.PageSize, hw.IOMMURead|hw.IOMMUWrite); err != nil {
+			return nil, err
+		}
+		k.Plat.IOMMU.Attach(hw.NICDeviceID, dom)
+	}
+
+	ns.initController()
+	return ns, nil
+}
+
+func (ns *NetServer) mmioWrite(off uint32, v uint32) {
+	ns.K.Plat.Mem.Write32(hw.NICMMIOBase+hw.PhysAddr(off), v)
+}
+
+func (ns *NetServer) mmioRead(off uint32) uint32 {
+	return ns.K.Plat.Mem.Read32(hw.NICMMIOBase + hw.PhysAddr(off))
+}
+
+func (ns *NetServer) initController() {
+	mem := ns.K.Plat.Mem
+	for i := 0; i < ns.slots; i++ {
+		mem.Write64(hw.PhysAddr(ns.ringBase+uint64(i)*16), ns.bufBase+uint64(i)*netBufSize)
+		mem.Write64(hw.PhysAddr(ns.ringBase+uint64(i)*16+8), 0)
+	}
+	ns.mmioWrite(0x2800, uint32(ns.ringBase)) // RDBAL
+	ns.mmioWrite(0x2804, uint32(ns.ringBase>>32))
+	ns.mmioWrite(0x2808, uint32(ns.slots*16)) // RDLEN
+	ns.mmioWrite(0x2810, 0)                   // RDH
+	ns.mmioWrite(0x2818, uint32(ns.slots-1))  // RDT
+	ns.mmioWrite(0x00d0, 0x80)                // IMS: RXT0
+	ns.mmioWrite(0x0100, 2)                   // RCTL: EN, 2 KiB buffers
+}
+
+// AddClient registers a packet consumer; every received frame is
+// queued for all clients (the server does no protocol demux — clients
+// filter, as a NIC driver VM would).
+func (ns *NetServer) AddClient(pd *hypervisor.PD, name string, doorbell *hypervisor.Semaphore) uint64 {
+	ns.nextID++
+	ns.clients[ns.nextID] = &netClient{name: name, pd: pd, doorbell: doorbell}
+	return ns.nextID
+}
+
+// Receive drains a client's packet queue.
+func (ns *NetServer) Receive(clientID uint64) [][]byte {
+	cl := ns.clients[clientID]
+	if cl == nil {
+		return nil
+	}
+	pkts := cl.queue
+	cl.queue = nil
+	return pkts
+}
+
+// handleIRQ is the interrupt EC: harvest DD descriptors, copy out the
+// payloads, return the slots, ring client doorbells.
+func (ns *NetServer) handleIRQ() {
+	ns.Stats.IRQs++
+	ns.mmioRead(0x00c0) // ICR read-to-clear
+	mem := ns.K.Plat.Mem
+	delivered := map[*netClient]bool{}
+	for {
+		descAddr := hw.PhysAddr(ns.ringBase + uint64(ns.head)*16)
+		status := mem.Read8(descAddr + 12)
+		if status&1 == 0 {
+			break
+		}
+		length := int(binary.LittleEndian.Uint16(mem.ReadBytes(descAddr+8, 2)))
+		if length > netBufSize {
+			// Cannot happen with hardware truncation, but a defensive
+			// driver never trusts device-written lengths (§4.2).
+			length = netBufSize
+			ns.Stats.Truncated++
+		}
+		pkt := mem.ReadBytes(hw.PhysAddr(ns.bufBase+uint64(ns.head)*netBufSize), length)
+		ns.Stats.Packets++
+		ns.Stats.Bytes += uint64(length)
+		ns.K.ChargeUser(hw.Cycles(200 + length/8)) // copy + bookkeeping
+
+		for _, cl := range ns.clients {
+			if len(cl.queue) >= ns.MaxQueued {
+				ns.Stats.Dropped++
+				continue
+			}
+			cl.queue = append(cl.queue, pkt)
+			ns.Stats.Delivered++
+			delivered[cl] = true
+		}
+
+		mem.Write8(descAddr+12, 0)    // clear status
+		ns.mmioWrite(0x2818, ns.head) // return the slot (RDT)
+		ns.head = (ns.head + 1) % uint32(ns.slots)
+	}
+	for cl := range delivered {
+		if cl.doorbell != nil {
+			ns.K.SemUp(ns.PD, cl.doorbell) //nolint:errcheck
+		}
+	}
+}
+
+// StartNetServer allocates server memory and brings the network server
+// up under root policy.
+func (r *RootPM) StartNetServer() (*NetServer, error) {
+	base, err := r.AllocPages("net-server", 33)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetServer(r.K, base)
+}

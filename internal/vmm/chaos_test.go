@@ -1,0 +1,176 @@
+package vmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+	"nova/internal/services"
+	"nova/internal/x86"
+)
+
+// TestGuestRunningGarbageIsContained boots VMs whose "kernels" are
+// random bytes (the strongest form of a malicious/broken guest) next to
+// a healthy VM. Whatever the garbage does — fault storms, sensitive
+// instructions, triple faults — the healthy VM and the host stack must
+// be unaffected (§4.2).
+func TestGuestRunningGarbageIsContained(t *testing.T) {
+	plat := hw.MustNewPlatform(hw.Config{Model: hw.BLM, RAMSize: 256 << 20})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	root := services.NewRootPM(k)
+	ds, err := root.StartDiskServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var chaos []*VMM
+	for i := 0; i < 2; i++ {
+		base, err := root.AllocPages("chaos", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(k, Config{
+			Name: "chaos", MemPages: 512, BasePage: base, CPU: 0,
+			Mode: hypervisor.ModeEPT, DiskServer: ds, BootDisk: plat.AHCI.Disk(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		garbage := make([]byte, 1024)
+		rng.Read(garbage)
+		if err := m.LoadImage(0x8000, garbage); err != nil {
+			t.Fatal(err)
+		}
+		st := &m.EC.VCPU.State
+		st.Reset()
+		st.EIP = 0x8000
+		if err := m.Start(10, 500_000); err != nil {
+			t.Fatal(err)
+		}
+		chaos = append(chaos, m)
+	}
+
+	// The healthy VM does real disk I/O through the shared server while
+	// the chaos VMs thrash.
+	base, err := root.AllocPages("healthy", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := New(k, Config{
+		Name: "healthy", MemPages: 512, BasePage: base, CPU: 0,
+		Mode: hypervisor.ModeEPT, DiskServer: ds, BootDisk: plat.AHCI.Disk(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := x86.MustAssemble(`bits 16
+org 0x8000
+	mov ecx, 5000
+w:
+	mov eax, [0x6000]
+	inc eax
+	mov [0x6000], eax
+	dec ecx
+	jnz w
+	mov dword [0x6004], 0x600d
+	cli
+	hlt`)
+	if err := healthy.LoadImage(0x8000, work); err != nil {
+		t.Fatal(err)
+	}
+	st := &healthy.EC.VCPU.State
+	st.Reset()
+	st.EIP = 0x8000
+	if err := healthy.Start(10, 500_000); err != nil {
+		t.Fatal(err)
+	}
+
+	k.Run(k.Now() + 30_000_000)
+
+	if got := healthy.guestRead32(0x6004); got != 0x600d {
+		t.Fatalf("healthy VM did not finish (marker %#x); killed=%v", got, k.Killed)
+	}
+	if got := healthy.guestRead32(0x6000); got != 5000 {
+		t.Errorf("healthy progress = %d", got)
+	}
+	// None of the chaos VMs may have taken anything else down: the only
+	// permissible kernel action is killing chaos VMs themselves.
+	for _, msg := range k.Killed {
+		if !contains(msg, "chaos") {
+			t.Errorf("non-chaos victim: %s", msg)
+		}
+	}
+	// The disk server is still usable after the storm.
+	if ds.Stats.Failures > 0 {
+		t.Logf("disk server rejected %d malformed requests (fine)", ds.Stats.Failures)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTwoVMsOnTwoPhysicalCPUs runs two independent VMs pinned to
+// different processors via the per-CPU runqueues and RunAll.
+func TestTwoVMsOnTwoPhysicalCPUs(t *testing.T) {
+	plat := hw.MustNewPlatform(hw.Config{Model: hw.BLM, NumCPUs: 2, RAMSize: 128 << 20})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	root := services.NewRootPM(k)
+	mk := func(name string, cpu int) *VMM {
+		base, err := root.AllocPages(name, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(k, Config{Name: name, MemPages: 512, BasePage: base, CPU: cpu, Mode: hypervisor.ModeEPT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := x86.MustAssemble(`bits 16
+org 0x8000
+	mov ecx, 20000
+w:
+	mov eax, [0x6000]
+	inc eax
+	mov [0x6000], eax
+	dec ecx
+	jnz w
+	mov dword [0x6004], 0x600d
+	cli
+	hlt`)
+		if err := m.LoadImage(0x8000, img); err != nil {
+			t.Fatal(err)
+		}
+		st := &m.EC.VCPU.State
+		st.Reset()
+		st.EIP = 0x8000
+		if err := m.Start(10, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mk("cpu0-vm", 0)
+	b := mk("cpu1-vm", 1)
+
+	k.RunAll(10_000_000)
+
+	for name, m := range map[string]*VMM{"a": a, "b": b} {
+		if got := m.guestRead32(0x6004); got != 0x600d {
+			t.Errorf("vm %s did not finish: %#x (killed=%v)", name, got, k.Killed)
+		}
+	}
+	// Work really happened on both processors.
+	if plat.CPUs[0].Clock.Busy() == 0 || plat.CPUs[1].Clock.Busy() == 0 {
+		t.Errorf("busy cycles: cpu0=%d cpu1=%d", plat.CPUs[0].Clock.Busy(), plat.CPUs[1].Clock.Busy())
+	}
+}

@@ -1,0 +1,127 @@
+package vmm
+
+import (
+	"strings"
+	"testing"
+
+	"nova/internal/hypervisor"
+	"nova/internal/x86"
+)
+
+// TestKeyboardAndVGAConsole runs an interactive guest: it reads keys
+// through INT 16h and echoes them into the VGA text buffer, which the
+// VMM decodes (the frame buffer is plain guest memory mapped straight
+// into the VM, as §7.2 suggests).
+func TestKeyboardAndVGAConsole(t *testing.T) {
+	k, m, _ := testStack(t, hypervisor.ModeEPT, false)
+	img := x86.MustAssemble(`bits 16
+org 0x8000
+	xor ax, ax
+	mov ds, ax
+	mov ax, 0xb800
+	mov es, ax
+	xor di, di
+read_loop:
+	mov ah, 0
+	int 0x16        ; blocking key read -> AL = ascii
+	cmp al, 13      ; Enter ends the line
+	jz done
+	mov ah, 0x1f    ; attribute
+	mov [es:di], ax ; wait: stores AX (attr:char reversed?) store char+attr
+	add di, 2
+	jmp read_loop
+done:
+	cli
+	hlt`)
+	// Note: `mov [es:di], ax` stores AL (char) at di and AH (attr) at
+	// di+1 — exactly the VGA cell layout.
+	if err := m.SetupBIOS(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(0x8000, img); err != nil {
+		t.Fatal(err)
+	}
+	m.InjectString("NOVA!\r")
+	st := &m.EC.VCPU.State
+	st.Reset()
+	st.EIP = 0x8000
+	if err := m.Start(10, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(k.Now() + 100_000_000)
+
+	if !m.EC.VCPU.State.Halted {
+		t.Fatalf("guest did not finish (killed=%v)", k.Killed)
+	}
+	screen := m.TextScreen()
+	if screen == nil {
+		t.Fatal("no text screen")
+	}
+	if !strings.HasPrefix(screen[0], "NOVA!") {
+		t.Errorf("screen line 0 = %q", strings.TrimRight(screen[0], " "))
+	}
+	if m.Stats.BIOSCalls < 6 {
+		t.Errorf("BIOS calls = %d", m.Stats.BIOSCalls)
+	}
+}
+
+// TestKeyboardControllerPath reads scancodes through the virtual i8042
+// with IRQ 1 delivery, the driver-level path.
+func TestKeyboardControllerPath(t *testing.T) {
+	k, m, _ := testStack(t, hypervisor.ModeEPT, false)
+	img := x86.MustAssemble(`bits 16
+org 0x8000
+	cli
+	xor ax, ax
+	mov ds, ax
+	mov word [1*4 + 0x20*4], isr  ; IVT vector 0x21 (IRQ1 at base 0x20)
+	mov word [1*4 + 0x20*4 + 2], 0
+	; PIC init, base 0x20, only IRQ1 unmasked
+	mov al, 0x11
+	out 0x20, al
+	mov al, 0x20
+	out 0x21, al
+	mov al, 0x04
+	out 0x21, al
+	mov al, 0x01
+	out 0x21, al
+	mov al, 0xfd
+	out 0x21, al
+	sti
+wait_key:
+	hlt
+	mov al, [0x6000]
+	test al, al
+	jz wait_key
+	cli
+	hlt
+isr:
+	push ax
+	in al, 0x64
+	test al, 1
+	jz isr_out
+	in al, 0x60
+	mov [0x6000], al
+isr_out:
+	mov al, 0x20
+	out 0x20, al
+	pop ax
+	iret`)
+	if err := m.LoadImage(0x8000, img); err != nil {
+		t.Fatal(err)
+	}
+	st := &m.EC.VCPU.State
+	st.Reset()
+	st.EIP = 0x8000
+	if err := m.Start(10, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Let the guest set up, then press a key.
+	k.Run(k.Now() + 2_000_000)
+	m.InjectKey(0x1e, 'a') // scancode for 'A'
+	k.Run(k.Now() + 50_000_000)
+
+	if got := m.guestRead32(0x6000) & 0xff; got != 0x1e {
+		t.Errorf("scancode seen by guest = %#x, want 0x1e (killed=%v)", got, k.Killed)
+	}
+}

@@ -1,0 +1,121 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"nova/internal/hypervisor"
+	"nova/internal/x86"
+)
+
+var errSabotaged = errors.New("vmm: handler sabotaged")
+
+// emuEnv is the instruction emulator's world (§7.1): guest-virtual
+// addresses are translated through the guest's own page tables, RAM
+// accesses go to the guest memory the VMM owns, and accesses that fall
+// into a virtual device window update the device model instead.
+type emuEnv struct {
+	m *VMM
+}
+
+// vmmGuestPhys adapts the VMM's guest-memory mapping as x86.PhysMem for
+// the emulator's page-table walks.
+type vmmGuestPhys struct{ m *VMM }
+
+func (g vmmGuestPhys) ReadPhys32(pa uint64) (uint32, bool) {
+	if pa+4 > g.m.size {
+		return 0, false
+	}
+	return g.m.guestRead32(pa), true
+}
+
+func (g vmmGuestPhys) WritePhys32(pa uint64, v uint32) bool {
+	if pa+4 > g.m.size {
+		return false
+	}
+	g.m.guestWrite32(pa, v)
+	return true
+}
+
+// translate resolves a guest-linear address to guest-physical using the
+// guest's paging state from the exit message.
+func (e *emuEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, error) {
+	if !st.PagingEnabled() {
+		return uint64(va), nil
+	}
+	w, exc := x86.WalkGuest(vmmGuestPhys{e.m}, st.CR3, st.CR4, va, write, st.CR0&x86.CR0WP != 0, true)
+	if exc != nil {
+		return 0, exc
+	}
+	return w.PA, nil
+}
+
+func (e *emuEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
+	gpa, err := e.translate(st, va, false)
+	if err != nil {
+		return 0, err
+	}
+	if v, ok := e.m.mmioRead(gpa, size); ok {
+		return v, nil
+	}
+	if gpa+uint64(size) > e.m.size {
+		// Unclaimed bus address: reads float high (PCI master abort).
+		return 0xffffffff >> (32 - uint(size)*8), nil
+	}
+	var v uint32
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint32(e.m.GuestRead(gpa+uint64(i), 1)[0])
+	}
+	return v, nil
+}
+
+func (e *emuEnv) MemWrite(st *x86.CPUState, va uint32, size int, val uint32) error {
+	gpa, err := e.translate(st, va, true)
+	if err != nil {
+		return err
+	}
+	if e.m.mmioWrite(gpa, size, val) {
+		return nil
+	}
+	if gpa+uint64(size) > e.m.size {
+		return nil // unclaimed bus address: write dropped
+	}
+	b := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(val >> (8 * uint(i)))
+	}
+	return e.m.GuestWrite(gpa, b)
+}
+
+func (e *emuEnv) In(port uint16, size int) (uint32, error) {
+	return e.m.portRead(port, size), nil
+}
+
+func (e *emuEnv) Out(port uint16, size int, val uint32) error {
+	e.m.portWrite(port, size, val)
+	return nil
+}
+
+func (e *emuEnv) InvalidateTLB(st *x86.CPUState, all bool, va uint32) {}
+
+// emulate runs the faulting instruction to completion in the VMM (§7.1:
+// fetch, decode, execute with fixup, write back, advance). It is the
+// handler for EPT-violation (MMIO) exits.
+func (m *VMM) emulate(msg *hypervisor.UTCB) error {
+	m.Stats.Emulated++
+	m.K.ChargeUser(m.K.Plat.Cost.EmulateInstruction)
+
+	// The emulator is a full interpreter instance over the emulation
+	// environment; guest state comes from (and returns to) the exit
+	// message. Exceptions raised by the emulated instruction are
+	// delivered through the guest's IDT exactly as §7.1's fixup path
+	// does.
+	st := msg.State
+	interp := x86.NewInterp(&emuEnv{m: m}, &st, x86.Intercepts{})
+	interp.TSC = func() uint64 { return uint64(m.K.Now()) }
+	if err := interp.Step(); err != nil {
+		return fmt.Errorf("vmm: emulation failed at eip=%#x: %w", msg.State.EIP, err)
+	}
+	msg.State = st
+	return nil
+}

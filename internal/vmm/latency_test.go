@@ -1,0 +1,109 @@
+package vmm
+
+import (
+	"testing"
+
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+	"nova/internal/services"
+	"nova/internal/x86"
+)
+
+// TestHighPriorityVMTimerLatency targets §9's real-time direction: a
+// high-priority VM's periodic timer keeps firing on schedule even while
+// a low-priority VM burns the CPU. Priority scheduling plus recall-based
+// injection bound the latency.
+func TestHighPriorityVMTimerLatency(t *testing.T) {
+	plat := hw.MustNewPlatform(hw.Config{Model: hw.BLM, RAMSize: 128 << 20})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	root := services.NewRootPM(k)
+
+	mk := func(name string) *VMM {
+		base, err := root.AllocPages(name, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(k, Config{Name: name, MemPages: 512, BasePage: base, CPU: 0, Mode: hypervisor.ModeEPT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// The real-time VM: programs its virtual PIT at ~2 kHz and counts
+	// ticks while halting in between (an idle control loop).
+	rt := mk("rt")
+	rtImg := x86.MustAssemble(`bits 16
+org 0x8000
+	cli
+	xor ax, ax
+	mov ds, ax
+	mov word [0x20*4], isr
+	mov word [0x20*4+2], 0
+	mov al, 0x11
+	out 0x20, al
+	mov al, 0x20
+	out 0x21, al
+	mov al, 0x04
+	out 0x21, al
+	mov al, 0x01
+	out 0x21, al
+	mov al, 0
+	out 0x21, al
+	mov al, 0x34
+	out 0x43, al
+	mov al, 0x54    ; reload 596 -> ~2 kHz
+	out 0x40, al
+	mov al, 0x02
+	out 0x40, al
+	sti
+idle:
+	hlt
+	jmp idle
+isr:
+	push ax
+	mov ax, [0x6000]
+	inc ax
+	mov [0x6000], ax
+	mov al, 0x20
+	out 0x20, al
+	pop ax
+	iret`)
+	if err := rt.LoadImage(0x8000, rtImg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bulk VM: spins forever at low priority.
+	bulk := mk("bulk")
+	bulkImg := x86.MustAssemble("bits 16\norg 0x8000\nspin: inc eax\njmp spin")
+	if err := bulk.LoadImage(0x8000, bulkImg); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []*VMM{rt, bulk} {
+		st := &m.EC.VCPU.State
+		st.Reset()
+		st.EIP = 0x8000
+	}
+	if err := rt.Start(60, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Start(5, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	const horizon = 10_000_000 // ~4 ms at 2.67 GHz
+	k.Run(k.Now() + horizon)
+
+	ticks := rt.guestRead32(0x6000) & 0xffff
+	// Expected ticks: horizon / (596/1193182 s * 2670 MHz) ≈ 30.
+	period := 596.0 / 1193182.0 * 2670e6
+	expected := uint32(float64(horizon) / period)
+	if ticks < expected*8/10 {
+		t.Errorf("rt VM got %d ticks, expected ~%d despite the bulk VM", ticks, expected)
+	}
+	// The bulk VM did run in the gaps (the rt VM halts between ticks).
+	if bulk.EC.VCPU.Interp.InstRet == 0 {
+		t.Error("bulk VM starved although the rt VM is mostly idle")
+	}
+}

@@ -1,0 +1,135 @@
+package vmm
+
+import (
+	"testing"
+
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+	"nova/internal/services"
+	"nova/internal/x86"
+)
+
+// TestMultiVCPUIPISync exercises §7.5: a two-vCPU guest on a two-CPU
+// host. vCPU0 sends virtual IPIs (the TLB-shootdown pattern) to vCPU1,
+// which handles them in its ISR and acknowledges through shared memory;
+// both synchronize entirely through guest code.
+func TestMultiVCPUIPISync(t *testing.T) {
+	plat := hw.MustNewPlatform(hw.Config{Model: hw.BLM, NumCPUs: 2, RAMSize: 128 << 20})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	root := services.NewRootPM(k)
+	base, err := root.AllocPages("mp-vm", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, Config{
+		Name: "mp", MemPages: 1024, BasePage: base, CPU: 0,
+		Mode: hypervisor.ModeEPT, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ECs) != 2 {
+		t.Fatalf("vcpus = %d", len(m.ECs))
+	}
+	if m.ECs[0].CPU == m.ECs[1].CPU {
+		t.Fatal("vCPUs not spread over physical CPUs")
+	}
+
+	// Shared layout: 0x6010 IPI counter, 0x6014 vCPU1 done, 0x6018
+	// vCPU1 ready, 0x6000 final marker.
+	bsp := x86.MustAssemble(`bits 16
+org 0x8000
+	xor ax, ax
+	mov ds, ax
+	mov es, ax
+	mov word [0x84], 0x5000
+	mov word [0x86], 0
+	mov dword [0x6010], 0
+	mov dword [0x6014], 0
+w_ready:
+	mov eax, [0x6018]
+	test eax, eax
+	jz w_ready
+	; send 3 IPIs to vCPU1, vector 0x21, waiting for each ack
+	mov ecx, 3
+ipi_loop:
+	mov ebx, [0x6010]
+	mov dx, 0xf2
+	mov ax, 0x0121
+	out dx, ax
+w_ack:
+	mov eax, [0x6010]
+	cmp eax, ebx
+	jz w_ack
+	dec ecx
+	jnz ipi_loop
+w_done:
+	mov eax, [0x6014]
+	cmp eax, 0x600d
+	jnz w_done
+	mov dword [0x6000], 0xd00ed00e
+	cli
+	hlt`)
+	ap := x86.MustAssemble(`bits 16
+org 0x9000
+	xor ax, ax
+	mov ds, ax
+	mov es, ax
+	sti
+	mov dword [0x6018], 1
+ap_wait:
+	hlt
+	mov eax, [0x6010]
+	cmp eax, 3
+	jb ap_wait
+	mov dword [0x6014], 0x600d
+	cli
+	hlt`)
+	isr := x86.MustAssemble(`bits 16
+org 0x5000
+	push ax
+	mov ax, [0x6010]
+	inc ax
+	mov [0x6010], ax
+	pop ax
+	iret`)
+	check := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(m.LoadImage(0x8000, bsp))
+	check(m.LoadImage(0x9000, ap))
+	check(m.LoadImage(0x5000, isr))
+	for i, entry := range []uint32{0x8000, 0x9000} {
+		st := &m.ECs[i].VCPU.State
+		st.Reset()
+		st.EIP = entry
+	}
+	check(m.Start(10, 500_000))
+
+	k.RunAll(500_000_000)
+
+	marker := plat.Mem.Read32(hw.PhysAddr(uint64(base)<<12 + 0x6000))
+	if marker != 0xd00ed00e {
+		t.Fatalf("BSP did not finish: marker=%#x counter=%d done=%#x ready=%d killed=%v",
+			marker,
+			plat.Mem.Read32(hw.PhysAddr(uint64(base)<<12+0x6010)),
+			plat.Mem.Read32(hw.PhysAddr(uint64(base)<<12+0x6014)),
+			plat.Mem.Read32(hw.PhysAddr(uint64(base)<<12+0x6018)), k.Killed)
+	}
+	if got := plat.Mem.Read32(hw.PhysAddr(uint64(base)<<12 + 0x6010)); got != 3 {
+		t.Errorf("IPIs handled = %d, want 3", got)
+	}
+	// Injections happened on vCPU1, and both vCPUs retired work.
+	if m.ECs[1].VCPU.InjectedIRQs < 3 {
+		t.Errorf("vCPU1 injections = %d", m.ECs[1].VCPU.InjectedIRQs)
+	}
+	if m.ECs[0].VCPU.Interp.InstRet == 0 || m.ECs[1].VCPU.Interp.InstRet == 0 {
+		t.Error("a vCPU retired nothing")
+	}
+	// Both physical CPUs advanced their clocks.
+	if plat.CPUs[0].Clock.Now() == 0 || plat.CPUs[1].Clock.Now() == 0 {
+		t.Error("a physical CPU never ran")
+	}
+}

@@ -1,0 +1,271 @@
+package vmm
+
+import (
+	"encoding/binary"
+
+	"nova/internal/hw"
+	"nova/internal/hypervisor"
+	"nova/internal/services"
+)
+
+// VAHCIBase is the guest-physical base of the virtual AHCI controller's
+// register window (matching the host convention, so the same guest
+// driver binary works natively, with passthrough, and fully
+// virtualized — exactly the comparison of Figure 6).
+const VAHCIBase = uint64(hw.AHCIMMIOBase)
+
+// VAHCIIRQ is the virtual interrupt line of the controller.
+const VAHCIIRQ = 11
+
+// VAHCI is the virtual AHCI controller: a software state machine
+// mimicking the host bus adapter (§7.2). Commands the guest rings are
+// decoded from guest memory and forwarded to the disk server over the
+// per-client portal; the host driver then DMAs directly into guest
+// buffers, eliminating data copies (§8.2).
+type VAHCI struct {
+	m *VMM
+
+	ghc, is                       uint32
+	clb                           uint64
+	pis, pie, pcmd, tfd, serr, ci uint32
+	inflight                      uint32
+
+	Commands uint64
+	IRQs     uint64
+}
+
+// NewVAHCI creates the device model.
+func NewVAHCI(m *VMM) *VAHCI {
+	return &VAHCI{m: m, tfd: 0x50}
+}
+
+// MMIORead implements the register file (registers without read side
+// effects could be mapped read-only into the guest; we intercept them
+// all for the fully-virtualized configuration).
+func (a *VAHCI) MMIORead(off uint32, size int) uint32 {
+	switch off {
+	case 0x00: // CAP
+		return 0x40141f00
+	case 0x04: // GHC
+		return a.ghc | 1<<31
+	case 0x08: // IS
+		return a.is
+	case 0x0c: // PI
+		return 1
+	case 0x10: // VS
+		return 0x00010300
+	}
+	if off >= 0x100 && off < 0x180 {
+		switch off - 0x100 {
+		case 0x00:
+			return uint32(a.clb)
+		case 0x04:
+			return uint32(a.clb >> 32)
+		case 0x10:
+			return a.pis
+		case 0x14:
+			return a.pie
+		case 0x18:
+			cmd := a.pcmd
+			if a.pcmd&1 != 0 {
+				cmd |= 1 << 15
+			}
+			return cmd
+		case 0x20:
+			return a.tfd
+		case 0x24:
+			return 0x101
+		case 0x28:
+			return 0x113
+		case 0x30:
+			return a.serr
+		case 0x38:
+			return a.ci
+		}
+	}
+	return 0
+}
+
+// MMIOWrite updates the state machine; writes to PxCI issue commands.
+func (a *VAHCI) MMIOWrite(off uint32, size int, val uint32) {
+	switch off {
+	case 0x04:
+		a.ghc = val &^ 1
+		return
+	case 0x08:
+		a.is &^= val
+		return
+	}
+	if off >= 0x100 && off < 0x180 {
+		switch off - 0x100 {
+		case 0x00:
+			a.clb = a.clb&^0xffffffff | uint64(val)
+		case 0x04:
+			a.clb = a.clb&0xffffffff | uint64(val)<<32
+		case 0x10:
+			a.pis &^= val
+		case 0x14:
+			a.pie = val
+		case 0x18:
+			a.pcmd = val & (1 | 1<<4)
+		case 0x30:
+			a.serr &^= val
+		case 0x38:
+			newSlots := val &^ a.ci &^ a.inflight
+			a.ci |= val
+			if a.pcmd&1 != 0 {
+				for slot := 0; slot < 32; slot++ {
+					if newSlots&(1<<uint(slot)) != 0 {
+						a.issue(slot)
+					}
+				}
+			}
+		}
+	}
+}
+
+// issue decodes the guest's command (header, CFIS, PRDT all live in
+// guest memory) and forwards it to the disk server (Figure 4, step 2).
+func (a *VAHCI) issue(slot int) {
+	a.Commands++
+	m := a.m
+	hdrGPA := a.clb + uint64(slot)*32
+	hdr := m.guestRead32(hdrGPA)
+	prdtl := int(hdr >> 16)
+	ctba := uint64(m.guestRead32(hdrGPA+8)) | uint64(m.guestRead32(hdrGPA+12))<<32
+
+	cfis := m.GuestRead(ctba, 20)
+	if cfis == nil || cfis[0] != 0x27 {
+		a.fail(slot)
+		return
+	}
+	cmd := cfis[2]
+	lba := uint64(cfis[4]) | uint64(cfis[5])<<8 | uint64(cfis[6])<<16 |
+		uint64(cfis[8])<<24 | uint64(cfis[9])<<32 | uint64(cfis[10])<<40
+	count := int(binary.LittleEndian.Uint16(cfis[12:]))
+	if count == 0 {
+		count = 65536
+	}
+
+	// Gather the PRDT and translate guest-physical buffer addresses to
+	// host-physical for the driver. Only these buffer ranges are
+	// exposed to the device (§4.2).
+	var bufs []services.DMASeg
+	for i := 0; i < prdtl; i++ {
+		base := ctba + 0x80 + uint64(i)*16
+		dba := uint64(m.guestRead32(base)) | uint64(m.guestRead32(base+4))<<32
+		dbc := int(m.guestRead32(base+12)&0x3fffff) + 1
+		if dba+uint64(dbc) > m.size {
+			a.fail(slot)
+			return
+		}
+		bufs = append(bufs, services.DMASeg{HPA: m.base + dba, Len: dbc})
+	}
+
+	switch cmd {
+	case 0xec: // IDENTIFY: served by the device model itself
+		id := a.identify()
+		off := 0
+		for _, b := range bufs {
+			n := b.Len
+			if n > len(id)-off {
+				n = len(id) - off
+			}
+			if n <= 0 {
+				break
+			}
+			m.K.Plat.Mem.WriteBytes(hw.PhysAddr(b.HPA), id[off:off+n])
+			off += n
+		}
+		a.completeLocal(slot)
+		return
+	case 0xe7: // FLUSH
+		a.completeLocal(slot)
+		return
+	case 0x25, 0x35: // READ/WRITE DMA EXT
+		op := services.DiskOpRead
+		if cmd == 0x35 {
+			op = services.DiskOpWrite
+		}
+		a.inflight |= 1 << uint(slot)
+		a.tfd |= 0x80
+		m.Stats.DiskRequests++
+		req := services.DiskRequest{Op: op, LBA: lba, Count: count, Bufs: bufs, Cookie: uint64(slot)}
+		msg := &hypervisor.UTCB{Words: services.EncodeRequest(&req)}
+		if err := m.K.Call(m.PD, m.diskPortalSel, msg); err != nil || len(msg.Words) == 0 || msg.Words[0] == 0 {
+			a.inflight &^= 1 << uint(slot)
+			a.fail(slot)
+		}
+		return
+	}
+	a.fail(slot)
+}
+
+// completeLocal finishes a command served without the disk server.
+func (a *VAHCI) completeLocal(slot int) {
+	a.ci &^= 1 << uint(slot)
+	a.pis |= 1
+	a.interrupt()
+}
+
+// Complete finishes a forwarded command when its completion record
+// arrives (Figure 4, steps 7-8).
+func (a *VAHCI) Complete(slot int, ok bool) {
+	bit := uint32(1) << uint(slot)
+	a.ci &^= bit
+	a.inflight &^= bit
+	if a.inflight == 0 {
+		a.tfd &^= 0x80
+	}
+	if ok {
+		a.pis |= 1
+	} else {
+		a.tfd |= 1
+		a.pis |= 1 << 30
+	}
+	a.interrupt()
+}
+
+func (a *VAHCI) fail(slot int) {
+	a.ci &^= 1 << uint(slot)
+	a.tfd |= 1
+	a.pis |= 1 << 30
+	a.interrupt()
+}
+
+func (a *VAHCI) interrupt() {
+	if a.pis&a.pie != 0 {
+		a.is |= 1
+		if a.ghc&(1<<1) != 0 {
+			a.IRQs++
+			a.m.vPIC.RaiseIRQ(VAHCIIRQ)
+		}
+	}
+}
+
+// identify synthesizes IDENTIFY DEVICE data for the virtual drive.
+func (a *VAHCI) identify() []byte {
+	id := make([]byte, 512)
+	binary.LittleEndian.PutUint16(id[0:], 0x0040)
+	var sectors uint64 = 250e9 / 512
+	if a.m.Cfg.BootDisk != nil {
+		sectors = a.m.Cfg.BootDisk.Sectors
+	}
+	s28 := sectors
+	if s28 > 0x0fffffff {
+		s28 = 0x0fffffff
+	}
+	binary.LittleEndian.PutUint32(id[60*2:], uint32(s28))
+	binary.LittleEndian.PutUint64(id[100*2:], sectors)
+	return id
+}
+
+// handleDiskCompletions is the VMM's completion EC (Figure 4, step 7):
+// woken by the disk server's doorbell, it reads the shared completion
+// records, updates the device model and signals the virtual interrupt.
+func (m *VMM) handleDiskCompletions() {
+	m.K.ChargeUser(m.K.Plat.Cost.DeviceModelUpdate)
+	for _, rec := range m.Cfg.DiskServer.Completions(m.diskClientID) {
+		m.vAHCI.Complete(int(rec.Cookie), rec.OK)
+	}
+}

@@ -1,0 +1,370 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler is a two-pass assembler for the instruction subset the
+// interpreter executes. It exists so the guest operating systems in this
+// repository are genuine machine code: the same bytes flow through the
+// guest-mode interpreter and, on faults, through the VMM's instruction
+// emulator.
+//
+// Syntax is NASM-flavoured:
+//
+//	org 0x7c00
+//	bits 16
+//	start:
+//	    mov ax, 0x10
+//	    mov [es:di+4], eax
+//	    jnz start
+//	    db 0x55, 0xaa, "text"
+//	    times 16 db 0
+type Assembler struct {
+	bits    int // 16 or 32
+	org     uint32
+	out     []byte
+	symbols map[string]uint32
+	pass    int
+	errs    []string
+	line    int
+}
+
+// Assemble assembles source and returns the flat binary image.
+func Assemble(source string) ([]byte, error) {
+	a := &Assembler{symbols: make(map[string]uint32)}
+	for a.pass = 1; a.pass <= 2; a.pass++ {
+		a.bits = 16
+		a.org = 0
+		a.out = a.out[:0]
+		a.errs = a.errs[:0]
+		for i, raw := range strings.Split(source, "\n") {
+			a.line = i + 1
+			a.doLine(raw)
+		}
+		if len(a.errs) > 0 {
+			return nil, fmt.Errorf("x86 asm: %s", strings.Join(a.errs, "; "))
+		}
+	}
+	return a.out, nil
+}
+
+// MustAssemble panics on assembly errors; for statically known-good
+// sources in tests and guest images.
+func MustAssemble(source string) []byte {
+	b, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (a *Assembler) errorf(format string, args ...any) {
+	a.errs = append(a.errs, fmt.Sprintf("line %d: %s", a.line, fmt.Sprintf(format, args...)))
+}
+
+func (a *Assembler) pc() uint32 { return a.org + uint32(len(a.out)) }
+
+func (a *Assembler) emit(b ...byte) { a.out = append(a.out, b...) }
+
+func (a *Assembler) emit16(v uint32) { a.emit(byte(v), byte(v>>8)) }
+
+func (a *Assembler) emit32(v uint32) { a.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+
+func (a *Assembler) emitZ(v uint32, size int) {
+	if size == 2 {
+		a.emit16(v)
+	} else {
+		a.emit32(v)
+	}
+}
+
+func (a *Assembler) doLine(raw string) {
+	// Strip comments (; to end of line, respecting no strings-with-; in
+	// code lines except db).
+	code := raw
+	if i := strings.IndexByte(code, ';'); i >= 0 && !strings.Contains(code[:i], "\"") && !strings.Contains(code[:i], "'") {
+		code = code[:i]
+	}
+	code = strings.TrimSpace(code)
+	if code == "" {
+		return
+	}
+	// Label?
+	for {
+		i := strings.IndexByte(code, ':')
+		if i < 0 || strings.ContainsAny(code[:i], " \t[") {
+			break
+		}
+		name := strings.TrimSpace(code[:i])
+		if a.pass == 1 {
+			if _, dup := a.symbols[name]; dup {
+				a.errorf("duplicate label %q", name)
+			}
+		}
+		a.symbols[name] = a.pc()
+		code = strings.TrimSpace(code[i+1:])
+		if code == "" {
+			return
+		}
+	}
+
+	mnem, rest := splitMnemonic(code)
+	switch mnem {
+	case "org":
+		v, ok := a.eval(rest)
+		if !ok {
+			a.errorf("bad org %q", rest)
+			return
+		}
+		a.org = v
+		return
+	case "bits":
+		switch strings.TrimSpace(rest) {
+		case "16":
+			a.bits = 16
+		case "32":
+			a.bits = 32
+		default:
+			a.errorf("bits must be 16 or 32")
+		}
+		return
+	case "align":
+		n, ok := a.eval(rest)
+		if !ok || n == 0 {
+			a.errorf("bad align")
+			return
+		}
+		for a.pc()%n != 0 {
+			a.emit(0)
+		}
+		return
+	case "db", "dw", "dd":
+		a.doData(mnem, rest)
+		return
+	case "times":
+		a.doTimes(rest)
+		return
+	case "equ":
+		a.errorf("equ requires 'name equ value' form")
+		return
+	}
+	// name equ value
+	if f := strings.Fields(code); len(f) == 3 && f[1] == "equ" {
+		v, ok := a.eval(f[2])
+		if !ok {
+			a.errorf("bad equ value %q", f[2])
+			return
+		}
+		a.symbols[f[0]] = v
+		return
+	}
+	a.doInst(mnem, rest)
+}
+
+func splitMnemonic(code string) (string, string) {
+	i := strings.IndexAny(code, " \t")
+	if i < 0 {
+		return strings.ToLower(code), ""
+	}
+	return strings.ToLower(code[:i]), strings.TrimSpace(code[i+1:])
+}
+
+func (a *Assembler) doData(kind, rest string) {
+	for _, item := range splitOperands(rest) {
+		item = strings.TrimSpace(item)
+		if len(item) >= 2 && (item[0] == '"' || item[0] == '\'') {
+			if item[len(item)-1] != item[0] {
+				a.errorf("unterminated string")
+				continue
+			}
+			for _, c := range []byte(item[1 : len(item)-1]) {
+				switch kind {
+				case "db":
+					a.emit(c)
+				case "dw":
+					a.emit16(uint32(c))
+				case "dd":
+					a.emit32(uint32(c))
+				}
+			}
+			continue
+		}
+		v, ok := a.eval(item)
+		if !ok {
+			if a.pass == 2 {
+				a.errorf("bad data item %q", item)
+			}
+			v = 0
+		}
+		switch kind {
+		case "db":
+			a.emit(byte(v))
+		case "dw":
+			a.emit16(v)
+		case "dd":
+			a.emit32(v)
+		}
+	}
+}
+
+func (a *Assembler) doTimes(rest string) {
+	i := strings.IndexAny(rest, " \t")
+	if i < 0 {
+		a.errorf("times needs a count and a directive")
+		return
+	}
+	n, ok := a.eval(rest[:i])
+	if !ok {
+		a.errorf("bad times count %q", rest[:i])
+		return
+	}
+	body := strings.TrimSpace(rest[i:])
+	mnem, brest := splitMnemonic(body)
+	if mnem != "db" && mnem != "dw" && mnem != "dd" {
+		a.errorf("times supports only data directives")
+		return
+	}
+	for k := uint32(0); k < n; k++ {
+		a.doData(mnem, brest)
+	}
+}
+
+// eval evaluates a constant expression: numbers, labels, $, + and -.
+func (a *Assembler) eval(expr string) (uint32, bool) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, false
+	}
+	// Tokenize on + and - at top level.
+	var total int64
+	sign := int64(1)
+	tok := ""
+	flushed := true
+	flush := func() bool {
+		if tok == "" {
+			return !flushed
+		}
+		v, ok := a.evalAtom(tok)
+		if !ok {
+			return false
+		}
+		total += sign * int64(v)
+		tok = ""
+		flushed = true
+		return true
+	}
+	for i := 0; i < len(expr); i++ {
+		c := expr[i]
+		switch c {
+		case '+':
+			if !flush() {
+				return 0, false
+			}
+			sign = 1
+		case '-':
+			if tok == "" && flushed && total == 0 && i == 0 {
+				sign = -1
+				continue
+			}
+			if !flush() {
+				return 0, false
+			}
+			sign = -1
+		case ' ', '\t':
+		case '*':
+			// scale inside eval not supported; memory parser handles it
+			return 0, false
+		default:
+			tok += string(c)
+			flushed = false
+		}
+	}
+	if tok == "" {
+		return 0, false
+	}
+	if v, ok := a.evalAtom(tok); ok {
+		total += sign * int64(v)
+		return uint32(total), true
+	}
+	return 0, false
+}
+
+func (a *Assembler) evalAtom(tok string) (uint32, bool) {
+	tok = strings.TrimSpace(tok)
+	if tok == "$" {
+		return a.pc(), true
+	}
+	if v, err := strconv.ParseUint(tok, 0, 64); err == nil {
+		return uint32(v), true
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return uint32(v), true
+	}
+	if len(tok) == 3 && tok[0] == '\'' && tok[2] == '\'' {
+		return uint32(tok[1]), true
+	}
+	if v, ok := a.symbols[tok]; ok {
+		return v, true
+	}
+	if a.pass == 1 {
+		// Forward reference: value unknown yet, treat as 0 but remember
+		// we must not choose size-dependent encodings for it. The
+		// instruction encoders always use full-width immediates for
+		// symbolic operands, so sizes stay stable between passes.
+		if isIdent(tok) {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas not inside brackets or quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" || len(out) > 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,1001 @@
+package x86
+
+import "strings"
+
+var segPrefix = [6]byte{0x26, 0x2e, 0x36, 0x3e, 0x64, 0x65}
+
+// prefixOp emits the operand-size prefix when size disagrees with the
+// current mode's default.
+func (a *Assembler) prefixOp(size int) {
+	if size == 2 && a.bits == 32 || size == 4 && a.bits == 16 {
+		a.emit(0x66)
+	}
+}
+
+// immZSize is the immediate width for full-size operands in this mode.
+func (a *Assembler) relSize(size int) int {
+	if size == 2 {
+		return 2
+	}
+	return 4
+}
+
+// memPrefixes emits segment-override and address-size prefixes for a
+// memory operand. It must run before the opcode.
+func (a *Assembler) memPrefixes(m opd) {
+	if m.seg >= 0 {
+		a.emit(segPrefix[m.seg])
+	}
+	if a.use16Addr(m) != (a.bits == 16) {
+		a.emit(0x67)
+	}
+}
+
+// use16Addr decides the addressing width of a memory operand.
+func (a *Assembler) use16Addr(m opd) bool {
+	if m.addr16 {
+		return true
+	}
+	if m.base < 0 && m.index < 0 {
+		return a.bits == 16
+	}
+	return false
+}
+
+// emitModRM encodes regOp plus a register or memory r/m operand.
+func (a *Assembler) emitModRM(regOp int, rm opd) {
+	if rm.kind == opdReg || rm.kind == opdCreg || rm.kind == opdSreg {
+		a.emit(byte(3<<6 | regOp<<3 | rm.reg))
+		return
+	}
+	if a.use16Addr(rm) {
+		a.emitModRM16(regOp, rm)
+		return
+	}
+	disp := rm.disp
+	// Pure displacement.
+	if rm.base < 0 && rm.index < 0 {
+		a.emit(byte(regOp<<3 | 5))
+		a.emit32(disp)
+		return
+	}
+	needSIB := rm.index >= 0 || rm.base == ESP
+	mod := 0
+	dispSize := 0
+	switch {
+	case disp == 0 && rm.base != EBP && rm.base >= 0:
+		mod, dispSize = 0, 0
+	case rm.base < 0:
+		mod, dispSize = 0, 4 // index-only form requires disp32
+	case int32(disp) >= -128 && int32(disp) <= 127 && !rm.symbolic:
+		mod, dispSize = 1, 1
+	default:
+		mod, dispSize = 2, 4
+	}
+	if needSIB {
+		a.emit(byte(mod<<6 | regOp<<3 | 4))
+		idx := 4 // none
+		if rm.index >= 0 {
+			idx = rm.index
+		}
+		base := 5 // none (mod 0)
+		if rm.base >= 0 {
+			base = rm.base
+		} else {
+			mod = 0
+		}
+		a.emit(byte(rm.scale<<6 | idx<<3 | base))
+	} else {
+		a.emit(byte(mod<<6 | regOp<<3 | rm.base))
+	}
+	switch dispSize {
+	case 1:
+		a.emit(byte(disp))
+	case 4:
+		a.emit32(disp)
+	}
+}
+
+// emitModRM16 encodes 16-bit addressing forms.
+func (a *Assembler) emitModRM16(regOp int, rm opd) {
+	disp := rm.disp
+	if rm.base < 0 && rm.index < 0 {
+		a.emit(byte(regOp<<3 | 6))
+		a.emit16(disp)
+		return
+	}
+	// Map (base, index) to the r/m encoding.
+	combo := -1
+	b, x := rm.base, rm.index
+	pair := func(p, q int) bool { return b == p && x == q || b == q && x == p }
+	switch {
+	case pair(EBX, ESI):
+		combo = 0
+	case pair(EBX, EDI):
+		combo = 1
+	case pair(EBP, ESI):
+		combo = 2
+	case pair(EBP, EDI):
+		combo = 3
+	case b == ESI && x < 0:
+		combo = 4
+	case b == EDI && x < 0:
+		combo = 5
+	case b == EBP && x < 0:
+		combo = 6
+	case b == EBX && x < 0:
+		combo = 7
+	}
+	if combo < 0 {
+		a.errorf("unencodable 16-bit address")
+		return
+	}
+	switch {
+	case disp == 0 && combo != 6 && !rm.symbolic:
+		a.emit(byte(regOp<<3 | combo))
+	case int32(disp) >= -128 && int32(disp) <= 127 && !rm.symbolic:
+		a.emit(byte(1<<6 | regOp<<3 | combo))
+		a.emit(byte(disp))
+	default:
+		a.emit(byte(2<<6 | regOp<<3 | combo))
+		a.emit16(disp)
+	}
+}
+
+var aluIdx = map[string]int{"add": 0, "or": 1, "adc": 2, "sbb": 3, "and": 4, "sub": 5, "xor": 6, "cmp": 7}
+var shiftIdx = map[string]int{"rol": 0, "ror": 1, "rcl": 2, "rcr": 3, "shl": 4, "sal": 4, "shr": 5, "sar": 7}
+var grp3Idx = map[string]int{"not": 2, "neg": 3, "mul": 4, "imul1": 5, "div": 6, "idiv": 7}
+var ccIdx = map[string]int{
+	"o": 0, "no": 1, "b": 2, "c": 2, "nae": 2, "ae": 3, "nb": 3, "nc": 3,
+	"e": 4, "z": 4, "ne": 5, "nz": 5, "be": 6, "na": 6, "a": 7, "nbe": 7,
+	"s": 8, "ns": 9, "p": 10, "pe": 10, "np": 11, "po": 11,
+	"l": 12, "nge": 12, "ge": 13, "nl": 13, "le": 14, "ng": 14, "g": 15, "nle": 15,
+}
+
+// opSizeOf derives the operand size from the operands, preferring
+// explicit register sizes and size hints.
+func (a *Assembler) opSizeOf(ops []opd) int {
+	for _, o := range ops {
+		if o.kind == opdReg && o.size > 0 {
+			return o.size
+		}
+	}
+	for _, o := range ops {
+		if o.size > 0 {
+			return o.size
+		}
+	}
+	return 0
+}
+
+func (a *Assembler) defSize() int {
+	if a.bits == 16 {
+		return 2
+	}
+	return 4
+}
+
+// doInst assembles one instruction line.
+func (a *Assembler) doInst(mnem, rest string) {
+	// REP prefixes wrap a string instruction.
+	switch mnem {
+	case "rep", "repe", "repz":
+		a.emit(0xf3)
+		m2, r2 := splitMnemonic(rest)
+		a.doInst(m2, r2)
+		return
+	case "repne", "repnz":
+		a.emit(0xf2)
+		m2, r2 := splitMnemonic(rest)
+		a.doInst(m2, r2)
+		return
+	case "lock":
+		a.emit(0xf0)
+		m2, r2 := splitMnemonic(rest)
+		a.doInst(m2, r2)
+		return
+	}
+
+	var ops []opd
+	if strings.TrimSpace(rest) != "" {
+		for _, s := range splitOperands(rest) {
+			o, ok := a.parseOperand(s)
+			if !ok {
+				if a.pass == 2 {
+					a.errorf("bad operand %q in %s %s", s, mnem, rest)
+				}
+				return
+			}
+			ops = append(ops, o)
+		}
+	}
+
+	if idx, ok := aluIdx[mnem]; ok && len(ops) == 2 {
+		a.encodeALU(idx, ops[0], ops[1])
+		return
+	}
+	if idx, ok := shiftIdx[mnem]; ok && len(ops) == 2 {
+		a.encodeShift(idx, ops[0], ops[1])
+		return
+	}
+	if idx, ok := grp3Idx[mnem]; ok && len(ops) == 1 {
+		a.encodeGrp3(idx, ops[0])
+		return
+	}
+	if strings.HasPrefix(mnem, "j") && len(ops) == 1 {
+		if cc, ok := ccIdx[mnem[1:]]; ok {
+			a.encodeJcc(cc, ops[0])
+			return
+		}
+	}
+	if strings.HasPrefix(mnem, "set") && len(ops) == 1 {
+		if cc, ok := ccIdx[mnem[3:]]; ok {
+			a.memPrefixes0(ops[0])
+			a.emit(0x0f, byte(0x90+cc))
+			a.emitModRM(0, ops[0])
+			return
+		}
+	}
+	if strings.HasPrefix(mnem, "cmov") && len(ops) == 2 {
+		if cc, ok := ccIdx[mnem[4:]]; ok {
+			size := a.opSizeOf(ops)
+			a.memPrefixes0(ops[1])
+			a.prefixOp(size)
+			a.emit(0x0f, byte(0x40+cc))
+			a.emitModRM(ops[0].reg, ops[1])
+			return
+		}
+	}
+
+	switch mnem {
+	case "mov":
+		a.encodeMov(ops)
+	case "test":
+		a.encodeTest(ops)
+	case "xchg":
+		if len(ops) == 2 {
+			size := a.opSizeOf(ops)
+			dst, src := ops[0], ops[1]
+			if dst.kind == opdMem {
+				dst, src = src, dst
+			}
+			a.memPrefixes0(src)
+			a.prefixOp(size)
+			a.emit(byteOpcode(0x86, size))
+			a.emitModRM(dst.reg, src)
+		}
+	case "lea":
+		if len(ops) == 2 && ops[0].kind == opdReg && ops[1].kind == opdMem {
+			a.memPrefixes(ops[1])
+			a.prefixOp(ops[0].size)
+			a.emit(0x8d)
+			a.emitModRM(ops[0].reg, ops[1])
+		} else {
+			a.errorf("lea needs reg, [mem]")
+		}
+	case "bt", "bts", "btr", "btc":
+		a.encodeBitTest(mnem, ops)
+	case "cmpxchg":
+		if len(ops) == 2 {
+			size := a.opSizeOf(ops)
+			a.memPrefixes0(ops[0])
+			a.prefixOp(size)
+			a.emit(0x0f, byteOpcode(0xb0, size))
+			a.emitModRM(ops[1].reg, ops[0])
+		} else {
+			a.errorf("cmpxchg needs 2 operands")
+		}
+	case "xadd":
+		if len(ops) == 2 {
+			size := a.opSizeOf(ops)
+			a.memPrefixes0(ops[0])
+			a.prefixOp(size)
+			a.emit(0x0f, byteOpcode(0xc0, size))
+			a.emitModRM(ops[1].reg, ops[0])
+		} else {
+			a.errorf("xadd needs 2 operands")
+		}
+	case "bsf", "bsr":
+		if len(ops) == 2 && ops[0].kind == opdReg {
+			a.memPrefixes0(ops[1])
+			a.prefixOp(ops[0].size)
+			opc := byte(0xbc)
+			if mnem == "bsr" {
+				opc = 0xbd
+			}
+			a.emit(0x0f, opc)
+			a.emitModRM(ops[0].reg, ops[1])
+		} else {
+			a.errorf("%s needs reg, r/m", mnem)
+		}
+	case "bswap":
+		if len(ops) == 1 && ops[0].kind == opdReg && ops[0].size == 4 {
+			a.emit(0x0f, 0xc8+byte(ops[0].reg))
+		} else {
+			a.errorf("bswap needs a 32-bit register")
+		}
+	case "shld", "shrd":
+		if len(ops) == 3 {
+			size := a.opSizeOf(ops[:2])
+			a.memPrefixes0(ops[0])
+			a.prefixOp(size)
+			opc := byte(0xa4)
+			if mnem == "shrd" {
+				opc = 0xac
+			}
+			if ops[2].kind == opdReg && ops[2].size == 1 && ops[2].reg == ECX {
+				a.emit(0x0f, opc+1)
+				a.emitModRM(ops[1].reg, ops[0])
+			} else {
+				a.emit(0x0f, opc)
+				a.emitModRM(ops[1].reg, ops[0])
+				a.emit(byte(ops[2].val))
+			}
+		} else {
+			a.errorf("%s needs 3 operands", mnem)
+		}
+	case "movzx", "movsx":
+		if len(ops) != 2 {
+			a.errorf("%s needs 2 operands", mnem)
+			return
+		}
+		srcSize := ops[1].size
+		if srcSize == 0 {
+			a.errorf("%s memory source needs a size hint", mnem)
+			return
+		}
+		base := byte(0xb6)
+		if mnem == "movsx" {
+			base = 0xbe
+		}
+		if srcSize == 2 {
+			base++
+		}
+		a.memPrefixes0(ops[1])
+		a.prefixOp(ops[0].size)
+		a.emit(0x0f, base)
+		a.emitModRM(ops[0].reg, ops[1])
+	case "inc", "dec":
+		a.encodeIncDec(mnem == "inc", ops)
+	case "push":
+		a.encodePush(ops)
+	case "pop":
+		a.encodePop(ops)
+	case "imul":
+		a.encodeIMul(ops)
+	case "jmp":
+		a.encodeJmp(ops)
+	case "call":
+		a.encodeCall(ops)
+	case "ret":
+		if len(ops) == 1 {
+			a.emit(0xc2)
+			a.emit16(ops[0].val)
+		} else {
+			a.emit(0xc3)
+		}
+	case "retf":
+		a.emit(0xcb)
+	case "loop":
+		a.encodeRel8(0xe2, ops)
+	case "loope", "loopz":
+		a.encodeRel8(0xe1, ops)
+	case "loopne", "loopnz":
+		a.encodeRel8(0xe0, ops)
+	case "jcxz":
+		if a.bits == 32 {
+			a.emit(0x67)
+		}
+		a.encodeRel8(0xe3, ops)
+	case "jecxz":
+		if a.bits == 16 {
+			a.emit(0x67)
+		}
+		a.encodeRel8(0xe3, ops)
+	case "int":
+		if len(ops) == 1 {
+			if ops[0].val == 3 {
+				a.emit(0xcc)
+			} else {
+				a.emit(0xcd, byte(ops[0].val))
+			}
+		}
+	case "int3":
+		a.emit(0xcc)
+	case "iret":
+		if a.bits == 32 {
+			a.emit(0x66)
+		}
+		a.emit(0xcf)
+	case "iretd":
+		if a.bits == 16 {
+			a.emit(0x66)
+		}
+		a.emit(0xcf)
+	case "in":
+		a.encodeIn(ops)
+	case "out":
+		a.encodeOut(ops)
+	case "lgdt", "lidt":
+		if len(ops) == 1 && ops[0].kind == opdMem {
+			a.memPrefixes(ops[0])
+			a.emit(0x0f, 0x01)
+			reg := 2
+			if mnem == "lidt" {
+				reg = 3
+			}
+			a.emitModRM(reg, ops[0])
+		} else {
+			a.errorf("%s needs a memory operand", mnem)
+		}
+	case "invlpg":
+		if len(ops) == 1 && ops[0].kind == opdMem {
+			a.memPrefixes(ops[0])
+			a.emit(0x0f, 0x01)
+			a.emitModRM(7, ops[0])
+		} else {
+			a.errorf("invlpg needs a memory operand")
+		}
+	// Zero-operand instructions.
+	case "nop":
+		a.emit(0x90)
+	case "hlt":
+		a.emit(0xf4)
+	case "cli":
+		a.emit(0xfa)
+	case "sti":
+		a.emit(0xfb)
+	case "cld":
+		a.emit(0xfc)
+	case "std":
+		a.emit(0xfd)
+	case "clc":
+		a.emit(0xf8)
+	case "stc":
+		a.emit(0xf9)
+	case "cmc":
+		a.emit(0xf5)
+	case "leave":
+		a.emit(0xc9)
+	case "pushf":
+		a.emit(0x9c)
+	case "popf":
+		a.emit(0x9d)
+	case "pushfd":
+		a.prefixOp(4)
+		a.emit(0x9c)
+	case "popfd":
+		a.prefixOp(4)
+		a.emit(0x9d)
+	case "pusha", "pushad":
+		if mnem == "pushad" {
+			a.prefixOp(4)
+		}
+		a.emit(0x60)
+	case "popa", "popad":
+		if mnem == "popad" {
+			a.prefixOp(4)
+		}
+		a.emit(0x61)
+	case "cpuid":
+		a.emit(0x0f, 0xa2)
+	case "rdtsc":
+		a.emit(0x0f, 0x31)
+	case "rdmsr":
+		a.emit(0x0f, 0x32)
+	case "wrmsr":
+		a.emit(0x0f, 0x30)
+	case "wbinvd":
+		a.emit(0x0f, 0x09)
+	case "ud2":
+		a.emit(0x0f, 0x0b)
+	case "cbw":
+		a.prefixOp(2)
+		a.emit(0x98)
+	case "cwde":
+		a.prefixOp(4)
+		a.emit(0x98)
+	case "cdq":
+		a.prefixOp(4)
+		a.emit(0x99)
+	case "movsb":
+		a.emit(0xa4)
+	case "movsw":
+		a.prefixOp(2)
+		a.emit(0xa5)
+	case "movsd":
+		a.prefixOp(4)
+		a.emit(0xa5)
+	case "cmpsb":
+		a.emit(0xa6)
+	case "stosb":
+		a.emit(0xaa)
+	case "stosw":
+		a.prefixOp(2)
+		a.emit(0xab)
+	case "stosd":
+		a.prefixOp(4)
+		a.emit(0xab)
+	case "lodsb":
+		a.emit(0xac)
+	case "lodsw":
+		a.prefixOp(2)
+		a.emit(0xad)
+	case "lodsd":
+		a.prefixOp(4)
+		a.emit(0xad)
+	case "scasb":
+		a.emit(0xae)
+	default:
+		a.errorf("unknown mnemonic %q", mnem)
+	}
+}
+
+// memPrefixes0 emits memory prefixes only when the operand is memory.
+func (a *Assembler) memPrefixes0(o opd) {
+	if o.kind == opdMem {
+		a.memPrefixes(o)
+	}
+}
+
+// byteOpcode selects the byte-form opcode when size==1.
+func byteOpcode(base byte, size int) byte {
+	if size == 1 {
+		return base
+	}
+	return base + 1
+}
+
+func (a *Assembler) encodeALU(idx int, dst, src opd) {
+	size := a.opSizeOf([]opd{dst, src})
+	if size == 0 {
+		a.errorf("operand size unknown; add byte/word/dword")
+		return
+	}
+	switch {
+	case src.kind == opdImm:
+		a.memPrefixes0(dst)
+		a.prefixOp(size)
+		if size == 1 {
+			a.emit(0x80)
+			a.emitModRM(idx, dst)
+			a.emit(byte(src.val))
+		} else if !src.symbolic && int32(src.val) >= -128 && int32(src.val) <= 127 {
+			a.emit(0x83)
+			a.emitModRM(idx, dst)
+			a.emit(byte(src.val))
+		} else {
+			a.emit(0x81)
+			a.emitModRM(idx, dst)
+			a.emitZ(src.val, size)
+		}
+	case dst.kind == opdReg && src.kind == opdMem:
+		a.memPrefixes(src)
+		a.prefixOp(size)
+		a.emit(byteOpcode(byte(idx<<3|0x02), size))
+		a.emitModRM(dst.reg, src)
+	case src.kind == opdReg:
+		a.memPrefixes0(dst)
+		a.prefixOp(size)
+		a.emit(byteOpcode(byte(idx<<3), size))
+		a.emitModRM(src.reg, dst)
+	default:
+		a.errorf("bad ALU operand combination")
+	}
+}
+
+func (a *Assembler) encodeShift(idx int, dst, src opd) {
+	size := a.opSizeOf([]opd{dst})
+	if size == 0 {
+		a.errorf("shift operand size unknown")
+		return
+	}
+	a.memPrefixes0(dst)
+	a.prefixOp(size)
+	if src.kind == opdReg && src.size == 1 && src.reg == ECX {
+		a.emit(byteOpcode(0xd2, size))
+		a.emitModRM(idx, dst)
+		return
+	}
+	if src.kind != opdImm {
+		a.errorf("shift count must be CL or immediate")
+		return
+	}
+	a.emit(byteOpcode(0xc0, size))
+	a.emitModRM(idx, dst)
+	a.emit(byte(src.val))
+}
+
+func (a *Assembler) encodeGrp3(idx int, dst opd) {
+	size := a.opSizeOf([]opd{dst})
+	if size == 0 {
+		a.errorf("operand size unknown")
+		return
+	}
+	a.memPrefixes0(dst)
+	a.prefixOp(size)
+	a.emit(byteOpcode(0xf6, size))
+	a.emitModRM(idx, dst)
+}
+
+func (a *Assembler) encodeIncDec(inc bool, ops []opd) {
+	if len(ops) != 1 {
+		a.errorf("inc/dec need one operand")
+		return
+	}
+	o := ops[0]
+	size := a.opSizeOf(ops)
+	if o.kind == opdReg && size >= 2 {
+		a.prefixOp(size)
+		base := byte(0x40)
+		if !inc {
+			base = 0x48
+		}
+		a.emit(base + byte(o.reg))
+		return
+	}
+	if size == 0 {
+		a.errorf("operand size unknown")
+		return
+	}
+	a.memPrefixes0(o)
+	a.prefixOp(size)
+	a.emit(byteOpcode(0xfe, size))
+	reg := 0
+	if !inc {
+		reg = 1
+	}
+	a.emitModRM(reg, o)
+}
+
+func (a *Assembler) encodePush(ops []opd) {
+	if len(ops) != 1 {
+		a.errorf("push needs one operand")
+		return
+	}
+	o := ops[0]
+	switch o.kind {
+	case opdReg:
+		a.prefixOp(o.size)
+		a.emit(0x50 + byte(o.reg))
+	case opdSreg:
+		switch o.reg {
+		case ES:
+			a.emit(0x06)
+		case CS:
+			a.emit(0x0e)
+		case SS:
+			a.emit(0x16)
+		case DS:
+			a.emit(0x1e)
+		case FS:
+			a.emit(0x0f, 0xa0)
+		case GS:
+			a.emit(0x0f, 0xa8)
+		}
+	case opdImm:
+		if !o.symbolic && int32(o.val) >= -128 && int32(o.val) <= 127 {
+			a.emit(0x6a, byte(o.val))
+		} else {
+			a.emit(0x68)
+			a.emitZ(o.val, a.defSize())
+		}
+	case opdMem:
+		a.memPrefixes(o)
+		a.emit(0xff)
+		a.emitModRM(6, o)
+	}
+}
+
+func (a *Assembler) encodePop(ops []opd) {
+	if len(ops) != 1 {
+		a.errorf("pop needs one operand")
+		return
+	}
+	o := ops[0]
+	switch o.kind {
+	case opdReg:
+		a.prefixOp(o.size)
+		a.emit(0x58 + byte(o.reg))
+	case opdSreg:
+		switch o.reg {
+		case ES:
+			a.emit(0x07)
+		case SS:
+			a.emit(0x17)
+		case DS:
+			a.emit(0x1f)
+		case FS:
+			a.emit(0x0f, 0xa1)
+		case GS:
+			a.emit(0x0f, 0xa9)
+		default:
+			a.errorf("cannot pop cs")
+		}
+	case opdMem:
+		a.memPrefixes(o)
+		a.emit(0x8f)
+		a.emitModRM(0, o)
+	}
+}
+
+func (a *Assembler) encodeIMul(ops []opd) {
+	switch len(ops) {
+	case 1:
+		a.encodeGrp3(grp3Idx["imul1"], ops[0])
+	case 2:
+		size := a.opSizeOf(ops)
+		a.memPrefixes0(ops[1])
+		a.prefixOp(size)
+		a.emit(0x0f, 0xaf)
+		a.emitModRM(ops[0].reg, ops[1])
+	case 3:
+		size := a.opSizeOf(ops)
+		a.memPrefixes0(ops[1])
+		a.prefixOp(size)
+		if !ops[2].symbolic && int32(ops[2].val) >= -128 && int32(ops[2].val) <= 127 {
+			a.emit(0x6b)
+			a.emitModRM(ops[0].reg, ops[1])
+			a.emit(byte(ops[2].val))
+		} else {
+			a.emit(0x69)
+			a.emitModRM(ops[0].reg, ops[1])
+			a.emitZ(ops[2].val, size)
+		}
+	}
+}
+
+func (a *Assembler) encodeMov(ops []opd) {
+	if len(ops) != 2 {
+		a.errorf("mov needs 2 operands")
+		return
+	}
+	dst, src := ops[0], ops[1]
+	switch {
+	case dst.kind == opdCreg && src.kind == opdReg:
+		a.emit(0x0f, 0x22)
+		a.emit(byte(3<<6 | dst.reg<<3 | src.reg))
+	case dst.kind == opdReg && src.kind == opdCreg:
+		a.emit(0x0f, 0x20)
+		a.emit(byte(3<<6 | src.reg<<3 | dst.reg))
+	case dst.kind == opdSreg:
+		a.memPrefixes0(src)
+		a.emit(0x8e)
+		a.emitModRM(dst.reg, src)
+	case src.kind == opdSreg:
+		a.memPrefixes0(dst)
+		a.emit(0x8c)
+		a.emitModRM(src.reg, dst)
+	case dst.kind == opdReg && src.kind == opdImm:
+		a.prefixOp(dst.size)
+		if dst.size == 1 {
+			a.emit(0xb0 + byte(dst.reg))
+			a.emit(byte(src.val))
+		} else {
+			a.emit(0xb8 + byte(dst.reg))
+			a.emitZ(src.val, dst.size)
+		}
+	case dst.kind == opdMem && src.kind == opdImm:
+		size := dst.size
+		if size == 0 {
+			size = src.size
+		}
+		if size == 0 {
+			a.errorf("mov mem, imm needs a size hint")
+			return
+		}
+		a.memPrefixes(dst)
+		a.prefixOp(size)
+		a.emit(byteOpcode(0xc6, size))
+		a.emitModRM(0, dst)
+		if size == 1 {
+			a.emit(byte(src.val))
+		} else {
+			a.emitZ(src.val, size)
+		}
+	case dst.kind == opdReg && src.kind == opdMem:
+		a.memPrefixes(src)
+		a.prefixOp(dst.size)
+		a.emit(byteOpcode(0x8a, dst.size))
+		a.emitModRM(dst.reg, src)
+	case dst.kind == opdMem && src.kind == opdReg:
+		a.memPrefixes(dst)
+		a.prefixOp(src.size)
+		a.emit(byteOpcode(0x88, src.size))
+		a.emitModRM(src.reg, dst)
+	case dst.kind == opdReg && src.kind == opdReg:
+		if dst.size != src.size {
+			a.errorf("mov register size mismatch")
+			return
+		}
+		a.prefixOp(dst.size)
+		a.emit(byteOpcode(0x88, dst.size))
+		a.emitModRM(src.reg, opd{kind: opdReg, reg: dst.reg})
+	default:
+		a.errorf("bad mov operand combination")
+	}
+}
+
+func (a *Assembler) encodeTest(ops []opd) {
+	if len(ops) != 2 {
+		a.errorf("test needs 2 operands")
+		return
+	}
+	dst, src := ops[0], ops[1]
+	size := a.opSizeOf(ops)
+	if size == 0 {
+		a.errorf("test operand size unknown")
+		return
+	}
+	if src.kind == opdImm {
+		a.memPrefixes0(dst)
+		a.prefixOp(size)
+		a.emit(byteOpcode(0xf6, size))
+		a.emitModRM(0, dst)
+		if size == 1 {
+			a.emit(byte(src.val))
+		} else {
+			a.emitZ(src.val, size)
+		}
+		return
+	}
+	if dst.kind == opdMem {
+		dst, src = src, dst
+	}
+	a.memPrefixes0(src)
+	a.prefixOp(size)
+	a.emit(byteOpcode(0x84, size))
+	a.emitModRM(dst.reg, src)
+}
+
+func (a *Assembler) encodeJcc(cc int, o opd) {
+	if o.kind != opdImm {
+		a.errorf("jcc needs a label")
+		return
+	}
+	size := a.defSize()
+	// 0F 8x relZ: total length 2 + relsize (16-bit mode: 4; 32: 6).
+	instLen := uint32(2 + a.relSize(size))
+	rel := o.val - (a.pc() + instLen)
+	a.emit(0x0f, byte(0x80+cc))
+	a.emitZ(rel, size)
+}
+
+func (a *Assembler) encodeRel8(opc byte, ops []opd) {
+	if len(ops) != 1 || ops[0].kind != opdImm {
+		a.errorf("needs a label operand")
+		return
+	}
+	rel := int64(ops[0].val) - int64(a.pc()+2)
+	if a.pass == 2 && (rel < -128 || rel > 127) {
+		a.errorf("rel8 target out of range (%d)", rel)
+	}
+	a.emit(opc, byte(rel))
+}
+
+func (a *Assembler) encodeJmp(ops []opd) {
+	if len(ops) != 1 {
+		a.errorf("jmp needs one operand")
+		return
+	}
+	o := ops[0]
+	switch o.kind {
+	case opdFar:
+		// jmp sel:off. With a dword hint in 16-bit mode, emit ptr16:32.
+		size := a.defSize()
+		if o.size == 4 {
+			size = 4
+		}
+		a.prefixOp(size)
+		a.emit(0xea)
+		a.emitZ(o.val, size)
+		a.emit16(o.sel)
+	case opdImm:
+		size := a.defSize()
+		instLen := uint32(1 + a.relSize(size))
+		rel := o.val - (a.pc() + instLen)
+		a.emit(0xe9)
+		a.emitZ(rel, size)
+	case opdReg:
+		a.emit(0xff)
+		a.emitModRM(4, o)
+	case opdMem:
+		a.memPrefixes(o)
+		a.emit(0xff)
+		a.emitModRM(4, o)
+	}
+}
+
+func (a *Assembler) encodeCall(ops []opd) {
+	if len(ops) != 1 {
+		a.errorf("call needs one operand")
+		return
+	}
+	o := ops[0]
+	switch o.kind {
+	case opdImm:
+		size := a.defSize()
+		instLen := uint32(1 + a.relSize(size))
+		rel := o.val - (a.pc() + instLen)
+		a.emit(0xe8)
+		a.emitZ(rel, size)
+	case opdReg:
+		a.emit(0xff)
+		a.emitModRM(2, o)
+	case opdMem:
+		a.memPrefixes(o)
+		a.emit(0xff)
+		a.emitModRM(2, o)
+	default:
+		a.errorf("bad call operand")
+	}
+}
+
+var btOpcode = map[string]struct {
+	rm  byte // 0F xx for r/m, reg form
+	grp int  // /reg for the 0F BA immediate form
+}{
+	"bt": {0xa3, 4}, "bts": {0xab, 5}, "btr": {0xb3, 6}, "btc": {0xbb, 7},
+}
+
+func (a *Assembler) encodeBitTest(mnem string, ops []opd) {
+	if len(ops) != 2 {
+		a.errorf("%s needs 2 operands", mnem)
+		return
+	}
+	enc := btOpcode[mnem]
+	size := a.opSizeOf(ops)
+	if size < 2 {
+		size = a.defSize()
+	}
+	a.memPrefixes0(ops[0])
+	a.prefixOp(size)
+	if ops[1].kind == opdReg {
+		a.emit(0x0f, enc.rm)
+		a.emitModRM(ops[1].reg, ops[0])
+		return
+	}
+	if ops[1].kind != opdImm {
+		a.errorf("%s source must be a register or immediate", mnem)
+		return
+	}
+	a.emit(0x0f, 0xba)
+	a.emitModRM(enc.grp, ops[0])
+	a.emit(byte(ops[1].val))
+}
+
+func (a *Assembler) encodeIn(ops []opd) {
+	if len(ops) != 2 || ops[0].kind != opdReg || ops[0].reg != EAX {
+		a.errorf("in needs al/ax/eax, port")
+		return
+	}
+	size := ops[0].size
+	a.prefixOp(size)
+	if ops[1].kind == opdReg && ops[1].size == 2 && ops[1].reg == EDX {
+		a.emit(byteOpcode(0xec, size))
+		return
+	}
+	if ops[1].kind != opdImm {
+		a.errorf("in port must be dx or imm8")
+		return
+	}
+	a.emit(byteOpcode(0xe4, size), byte(ops[1].val))
+}
+
+func (a *Assembler) encodeOut(ops []opd) {
+	if len(ops) != 2 || ops[1].kind != opdReg || ops[1].reg != EAX {
+		a.errorf("out needs port, al/ax/eax")
+		return
+	}
+	size := ops[1].size
+	a.prefixOp(size)
+	if ops[0].kind == opdReg && ops[0].size == 2 && ops[0].reg == EDX {
+		a.emit(byteOpcode(0xee, size))
+		return
+	}
+	if ops[0].kind != opdImm {
+		a.errorf("out port must be dx or imm8")
+		return
+	}
+	a.emit(byteOpcode(0xe6, size), byte(ops[0].val))
+}

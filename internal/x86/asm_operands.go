@@ -1,0 +1,224 @@
+package x86
+
+import "strings"
+
+// Operand kinds produced by the assembler's parser.
+const (
+	opdNone = iota
+	opdReg
+	opdSreg
+	opdCreg
+	opdImm
+	opdMem
+	opdFar // sel:offset
+)
+
+type opd struct {
+	kind int
+	size int // 1, 2 or 4 for registers / size-hinted memory; 0 unknown
+	reg  int
+
+	val      uint32 // immediate or far offset
+	sel      uint32 // far selector
+	symbolic bool   // contains a label: force full-width encodings
+
+	// Memory addressing.
+	base, index, scale int // register indices, -1 for none; scale shift
+	disp               uint32
+	seg                int  // segment override or -1
+	addr16             bool // uses 16-bit addressing registers
+}
+
+var reg8Names = map[string]int{"al": 0, "cl": 1, "dl": 2, "bl": 3, "ah": 4, "ch": 5, "dh": 6, "bh": 7}
+var reg16Names = map[string]int{"ax": 0, "cx": 1, "dx": 2, "bx": 3, "sp": 4, "bp": 5, "si": 6, "di": 7}
+var reg32Names = map[string]int{"eax": 0, "ecx": 1, "edx": 2, "ebx": 3, "esp": 4, "ebp": 5, "esi": 6, "edi": 7}
+var sregNames = map[string]int{"es": ES, "cs": CS, "ss": SS, "ds": DS, "fs": FS, "gs": GS}
+var cregNames = map[string]int{"cr0": 0, "cr2": 2, "cr3": 3, "cr4": 4}
+
+// parseOperand parses one operand string.
+func (a *Assembler) parseOperand(s string) (opd, bool) {
+	s = strings.TrimSpace(s)
+	low := strings.ToLower(s)
+
+	if r, ok := reg8Names[low]; ok {
+		return opd{kind: opdReg, size: 1, reg: r}, true
+	}
+	if r, ok := reg16Names[low]; ok {
+		return opd{kind: opdReg, size: 2, reg: r}, true
+	}
+	if r, ok := reg32Names[low]; ok {
+		return opd{kind: opdReg, size: 4, reg: r}, true
+	}
+	if r, ok := sregNames[low]; ok {
+		return opd{kind: opdSreg, size: 2, reg: r}, true
+	}
+	if r, ok := cregNames[low]; ok {
+		return opd{kind: opdCreg, size: 4, reg: r}, true
+	}
+
+	// Size hint?
+	size := 0
+	for hint, sz := range map[string]int{"byte": 1, "word": 2, "dword": 4} {
+		if strings.HasPrefix(low, hint+" ") || strings.HasPrefix(low, hint+"[") {
+			size = sz
+			s = strings.TrimSpace(s[len(hint):])
+			low = strings.ToLower(s)
+			break
+		}
+	}
+
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return opd{}, false
+		}
+		m, ok := a.parseMem(s[1 : len(s)-1])
+		if !ok {
+			return opd{}, false
+		}
+		m.size = size
+		return m, true
+	}
+
+	// Far pointer sel:off?
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		sel, ok1 := a.eval(s[:i])
+		off, ok2 := a.eval(s[i+1:])
+		if ok1 && ok2 {
+			return opd{kind: opdFar, sel: sel, val: off, size: size}, true
+		}
+		return opd{}, false
+	}
+
+	// Immediate expression.
+	v, ok := a.eval(s)
+	if !ok {
+		return opd{}, false
+	}
+	return opd{kind: opdImm, size: size, val: v, symbolic: containsIdent(a, s)}, true
+}
+
+// containsIdent reports whether the expression references a symbol (so
+// encoders must pick width-stable forms).
+func containsIdent(a *Assembler, s string) bool {
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool {
+		return r == '+' || r == '-' || r == ' ' || r == '\t'
+	}) {
+		if tok == "$" {
+			return true
+		}
+		if isIdent(tok) {
+			if _, num := reg32Names[strings.ToLower(tok)]; !num {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseMem parses the inside of a [] memory reference: optional seg
+// override, registers with optional *scale, and displacement terms.
+func (a *Assembler) parseMem(s string) (opd, bool) {
+	m := opd{kind: opdMem, base: -1, index: -1, seg: -1}
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		segName := strings.ToLower(strings.TrimSpace(s[:i]))
+		if r, ok := sregNames[segName]; ok {
+			m.seg = r
+			s = s[i+1:]
+		}
+	}
+	var disp int64
+	sign := int64(1)
+	for _, term := range splitTerms(s) {
+		t := strings.TrimSpace(term)
+		if t == "" {
+			continue
+		}
+		neg := false
+		if t[0] == '-' {
+			neg = true
+			t = strings.TrimSpace(t[1:])
+		} else if t[0] == '+' {
+			t = strings.TrimSpace(t[1:])
+		}
+		low := strings.ToLower(t)
+		// reg*scale, or a constant product folded into the displacement?
+		if i := strings.IndexByte(low, '*'); i > 0 {
+			rn := strings.TrimSpace(low[:i])
+			sc := strings.TrimSpace(low[i+1:])
+			r, ok := reg32Names[rn]
+			if !ok {
+				lv, ok1 := a.eval(rn)
+				rv, ok2 := a.eval(sc)
+				if !ok1 || !ok2 {
+					return m, false
+				}
+				prod := int64(lv) * int64(rv)
+				if neg {
+					disp -= prod
+				} else {
+					disp += prod
+				}
+				continue
+			}
+			shift := map[string]int{"1": 0, "2": 1, "4": 2, "8": 3}[sc]
+			if neg {
+				return m, false
+			}
+			m.index = r
+			m.scale = shift
+			continue
+		}
+		if r, ok := reg32Names[low]; ok && !neg {
+			if m.base < 0 {
+				m.base = r
+			} else if m.index < 0 {
+				m.index = r
+			} else {
+				return m, false
+			}
+			continue
+		}
+		if r, ok := reg16Names[low]; ok && !neg {
+			// 16-bit addressing register.
+			if m.base < 0 {
+				m.base = r
+			} else if m.index < 0 {
+				m.index = r
+			} else {
+				return m, false
+			}
+			m.addr16 = true
+			continue
+		}
+		v, ok := a.eval(t)
+		if !ok {
+			return m, false
+		}
+		if containsIdent(a, t) {
+			m.symbolic = true
+		}
+		if neg {
+			disp -= int64(v) * sign
+		} else {
+			disp += int64(v) * sign
+		}
+	}
+	m.disp = uint32(disp)
+	return m, true
+}
+
+// splitTerms splits an address expression on top-level + and - while
+// keeping the sign with the term.
+func splitTerms(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if (s[i] == '+' || s[i] == '-') && i > start {
+			out = append(out, s[start:i])
+			start = i
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

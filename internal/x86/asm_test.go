@@ -1,0 +1,249 @@
+package x86
+
+import (
+	"bytes"
+	"testing"
+)
+
+// assertBytes checks an assembly snippet against its expected encoding
+// (reference encodings produced by NASM).
+func assertBytes(t *testing.T, src string, want []byte) {
+	t.Helper()
+	got, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble %q: %v", src, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("assemble %q = %x, want %x", src, got, want)
+	}
+}
+
+func TestAsmBasic32(t *testing.T) {
+	assertBytes(t, "bits 32\nmov eax, 0x12345678", []byte{0xb8, 0x78, 0x56, 0x34, 0x12})
+	assertBytes(t, "bits 32\nmov ebx, eax", []byte{0x89, 0xc3})
+	assertBytes(t, "bits 32\nadd eax, ebx", []byte{0x01, 0xd8})
+	assertBytes(t, "bits 32\nadd eax, 4", []byte{0x83, 0xc0, 0x04})
+	assertBytes(t, "bits 32\nadd eax, 0x1234", []byte{0x81, 0xc0, 0x34, 0x12, 0x00, 0x00})
+	assertBytes(t, "bits 32\nnop\nhlt\ncli\nsti", []byte{0x90, 0xf4, 0xfa, 0xfb})
+	assertBytes(t, "bits 32\npush eax\npop ebx", []byte{0x50, 0x5b})
+	assertBytes(t, "bits 32\nret", []byte{0xc3})
+	assertBytes(t, "bits 32\nint 0x10", []byte{0xcd, 0x10})
+	assertBytes(t, "bits 32\ncpuid\nrdtsc", []byte{0x0f, 0xa2, 0x0f, 0x31})
+}
+
+func TestAsmMemoryForms32(t *testing.T) {
+	assertBytes(t, "bits 32\nmov eax, [0x1234]", []byte{0x8b, 0x05, 0x34, 0x12, 0x00, 0x00})
+	assertBytes(t, "bits 32\nmov eax, [ebx]", []byte{0x8b, 0x03})
+	assertBytes(t, "bits 32\nmov eax, [ebx+8]", []byte{0x8b, 0x43, 0x08})
+	assertBytes(t, "bits 32\nmov eax, [ebx+esi*4]", []byte{0x8b, 0x04, 0xb3})
+	assertBytes(t, "bits 32\nmov eax, [ebx+esi*4+16]", []byte{0x8b, 0x44, 0xb3, 0x10})
+	assertBytes(t, "bits 32\nmov [esp+4], eax", []byte{0x89, 0x44, 0x24, 0x04})
+	assertBytes(t, "bits 32\nmov dword [0x2000], 7",
+		[]byte{0xc7, 0x05, 0x00, 0x20, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00})
+	assertBytes(t, "bits 32\nmov byte [eax], 5", []byte{0xc6, 0x00, 0x05})
+	// Segment override.
+	assertBytes(t, "bits 32\nmov eax, [es:ebx]", []byte{0x26, 0x8b, 0x03})
+}
+
+func TestAsm16BitMode(t *testing.T) {
+	assertBytes(t, "bits 16\nmov ax, 0x1234", []byte{0xb8, 0x34, 0x12})
+	assertBytes(t, "bits 16\nmov eax, 0x12345678", []byte{0x66, 0xb8, 0x78, 0x56, 0x34, 0x12})
+	assertBytes(t, "bits 16\nmov ax, [bx+si]", []byte{0x8b, 0x00})
+	assertBytes(t, "bits 16\nmov ax, [bx+4]", []byte{0x8b, 0x47, 0x04})
+	assertBytes(t, "bits 16\nmov ax, [0x500]", []byte{0x8b, 0x06, 0x00, 0x05})
+	assertBytes(t, "bits 16\nout 0x20, al", []byte{0xe6, 0x20})
+	assertBytes(t, "bits 16\nin al, dx", []byte{0xec})
+}
+
+func TestAsmJumpsAndLabels(t *testing.T) {
+	// jmp to self in 32-bit mode: E9 with rel = -5.
+	assertBytes(t, "bits 32\nself: jmp self", []byte{0xe9, 0xfb, 0xff, 0xff, 0xff})
+	// Forward conditional.
+	bin := MustAssemble("bits 32\n jz done\n nop\ndone: hlt")
+	want := []byte{0x0f, 0x84, 0x01, 0x00, 0x00, 0x00, 0x90, 0xf4}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("jz fwd = %x, want %x", bin, want)
+	}
+	// call.
+	bin = MustAssemble("bits 32\ncall fn\nhlt\nfn: ret")
+	want = []byte{0xe8, 0x01, 0x00, 0x00, 0x00, 0xf4, 0xc3}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("call = %x, want %x", bin, want)
+	}
+}
+
+func TestAsmOrgAffectsLabels(t *testing.T) {
+	bin := MustAssemble("bits 32\norg 0x7c00\nstart: mov eax, start\nhlt")
+	want := []byte{0xb8, 0x00, 0x7c, 0x00, 0x00, 0xf4}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("got %x, want %x", bin, want)
+	}
+}
+
+func TestAsmDataDirectives(t *testing.T) {
+	assertBytes(t, "db 1, 2, 3", []byte{1, 2, 3})
+	assertBytes(t, "dw 0x1234", []byte{0x34, 0x12})
+	assertBytes(t, "dd 0xdeadbeef", []byte{0xef, 0xbe, 0xad, 0xde})
+	assertBytes(t, `db "AB", 0`, []byte{'A', 'B', 0})
+	assertBytes(t, "times 4 db 0xcc", []byte{0xcc, 0xcc, 0xcc, 0xcc})
+}
+
+func TestAsmAlignAndEqu(t *testing.T) {
+	bin := MustAssemble("db 1\nalign 4\ndb 2")
+	if len(bin) != 5 || bin[4] != 2 {
+		t.Errorf("align: %x", bin)
+	}
+	bin = MustAssemble("FOO equ 0x42\nbits 32\nmov eax, FOO")
+	want := []byte{0xb8, 0x42, 0x00, 0x00, 0x00}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("equ: %x want %x", bin, want)
+	}
+}
+
+func TestAsmControlRegisters(t *testing.T) {
+	assertBytes(t, "bits 32\nmov cr3, eax", []byte{0x0f, 0x22, 0xd8})
+	assertBytes(t, "bits 32\nmov eax, cr0", []byte{0x0f, 0x20, 0xc0})
+	assertBytes(t, "bits 32\ninvlpg [eax]", []byte{0x0f, 0x01, 0x38})
+}
+
+func TestAsmLgdtFarJump(t *testing.T) {
+	bin := MustAssemble("bits 16\nlgdt [0x800]")
+	want := []byte{0x0f, 0x01, 0x16, 0x00, 0x08}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("lgdt: %x want %x", bin, want)
+	}
+	bin = MustAssemble("bits 16\njmp 0x08:0x1000")
+	want = []byte{0xea, 0x00, 0x10, 0x08, 0x00}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("jmp far: %x want %x", bin, want)
+	}
+	// dword far jump from 16-bit mode (ptr16:32).
+	bin = MustAssemble("bits 16\njmp dword 0x08:0x8000")
+	want = []byte{0x66, 0xea, 0x00, 0x80, 0x00, 0x00, 0x08, 0x00}
+	if !bytes.Equal(bin, want) {
+		t.Errorf("jmp far32: %x want %x", bin, want)
+	}
+}
+
+func TestAsmStringAndRep(t *testing.T) {
+	assertBytes(t, "bits 32\nrep movsd", []byte{0xf3, 0xa5})
+	assertBytes(t, "bits 32\nrep stosb", []byte{0xf3, 0xaa})
+	assertBytes(t, "bits 32\nlodsb", []byte{0xac})
+}
+
+func TestAsmErrors(t *testing.T) {
+	for _, src := range []string{
+		"bits 32\nbogus eax, 1",
+		"bits 32\nmov [eax], 1", // no size hint
+		"bits 32\nfoo: nop\nfoo: nop",
+		"bits 7",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestAsmDecodeRoundTrip(t *testing.T) {
+	// Every assembled instruction must decode back with the same length.
+	srcs := []string{
+		"mov eax, 1", "mov ebx, [eax+4]", "add eax, ebx", "sub ecx, 4",
+		"cmp eax, 100", "push ebp", "pop edi", "inc esi", "dec dword [eax]",
+		"shl eax, 3", "imul eax, ebx", "movzx eax, bl", "test al, 1",
+		"xchg eax, ebx", "lea esi, [ebx+ecx*2+8]", "cpuid", "rdtsc",
+		"hlt", "cli", "sti", "invlpg [eax]", "mov cr3, eax",
+		"rep movsd", "out 0x80, al", "in eax, dx",
+	}
+	for _, src := range srcs {
+		bin := MustAssemble("bits 32\n" + src)
+		r := &sliceFetcher{b: bin}
+		inst, err := Decode(r, true)
+		if err != nil {
+			t.Errorf("decode %q (%x): %v", src, bin, err)
+			continue
+		}
+		if inst.Len != len(bin) {
+			t.Errorf("decode %q: len %d, encoded %d (%x)", src, inst.Len, len(bin), bin)
+		}
+	}
+}
+
+type sliceFetcher struct {
+	b []byte
+	i int
+}
+
+func (s *sliceFetcher) FetchByte() (byte, error) {
+	if s.i >= len(s.b) {
+		return 0, PageFault(uint32(s.i), false, false, false)
+	}
+	b := s.b[s.i]
+	s.i++
+	return b, nil
+}
+
+func TestDecodePrefixes(t *testing.T) {
+	// 66 0F B7 C3: movzx eax, bx with operand-size prefix (redundant
+	// here but must parse).
+	inst, err := Decode(&sliceFetcher{b: []byte{0x66, 0x0f, 0xb7, 0xc3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.TwoByte || inst.Op != 0xb7 || inst.OpSize != 2 {
+		t.Errorf("inst = %+v", inst)
+	}
+	// Segment override + rep.
+	inst, err = Decode(&sliceFetcher{b: []byte{0xf3, 0x26, 0xa5}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Rep || inst.SegOv != ES || inst.Op != 0xa5 {
+		t.Errorf("inst = %+v", inst)
+	}
+}
+
+func TestDecodeTooLong(t *testing.T) {
+	b := make([]byte, 20)
+	for i := range b {
+		b[i] = 0x66 // endless prefixes
+	}
+	if _, err := Decode(&sliceFetcher{b: b}, true); err == nil {
+		t.Error("16 prefix bytes decoded without error")
+	}
+}
+
+func TestDecodeModRMForms(t *testing.T) {
+	// 8B 04 B3: mov eax, [ebx+esi*4]
+	inst, err := Decode(&sliceFetcher{b: []byte{0x8b, 0x04, 0xb3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Base != EBX || inst.Index != ESI || inst.Scale != 2 {
+		t.Errorf("SIB decode: %+v", inst)
+	}
+	// 8B 05 disp32: mov eax, [disp32]
+	inst, err = Decode(&sliceFetcher{b: []byte{0x8b, 0x05, 0x78, 0x56, 0x34, 0x12}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Base != -1 || inst.Disp != 0x12345678 {
+		t.Errorf("disp32 decode: %+v", inst)
+	}
+}
+
+func TestAsmBitAndAtomicOps(t *testing.T) {
+	assertBytes(t, "bits 32\nbt eax, ecx", []byte{0x0f, 0xa3, 0xc8})
+	assertBytes(t, "bits 32\nbts eax, 3", []byte{0x0f, 0xba, 0xe8, 0x03})
+	assertBytes(t, "bits 32\nbtr eax, 0", []byte{0x0f, 0xba, 0xf0, 0x00})
+	assertBytes(t, "bits 32\nbtc eax, 4", []byte{0x0f, 0xba, 0xf8, 0x04})
+	assertBytes(t, "bits 32\ncmpxchg ebx, ecx", []byte{0x0f, 0xb1, 0xcb})
+	assertBytes(t, "bits 32\nxadd eax, ebx", []byte{0x0f, 0xc1, 0xd8})
+	assertBytes(t, "bits 32\nbswap eax", []byte{0x0f, 0xc8})
+	assertBytes(t, "bits 32\nbsf ebx, eax", []byte{0x0f, 0xbc, 0xd8})
+	assertBytes(t, "bits 32\nbsr ebx, eax", []byte{0x0f, 0xbd, 0xd8})
+	assertBytes(t, "bits 32\nshld eax, ebx, 2", []byte{0x0f, 0xa4, 0xd8, 0x02})
+	assertBytes(t, "bits 32\nshrd eax, ebx, cl", []byte{0x0f, 0xad, 0xd8})
+	assertBytes(t, "bits 32\nsete bl", []byte{0x0f, 0x94, 0xc3})
+	assertBytes(t, "bits 32\ncmove ecx, ebx", []byte{0x0f, 0x44, 0xcb})
+	assertBytes(t, "bits 32\nlock xadd eax, ebx", []byte{0xf0, 0x0f, 0xc1, 0xd8})
+}

@@ -1,0 +1,110 @@
+package x86
+
+// repBurst caps REP iterations executed per Step so pending interrupts
+// keep bounded latency; the instruction is architecturally restartable
+// (EIP stays on it until ECX reaches zero).
+const repBurst = 64
+
+// execString handles MOVS, CMPS, STOS, LODS and SCAS with optional
+// REP/REPE/REPNE prefixes.
+func (ip *Interp) execString(inst *Inst) error {
+	st := ip.St
+	op := int(inst.Op)
+	size := inst.OpSize
+	if op&1 == 0 {
+		size = 1
+	}
+	delta := uint32(size)
+	if st.GetFlag(FlagDF) {
+		delta = -delta
+	}
+	srcSeg := DS
+	if inst.SegOv >= 0 {
+		srcSeg = inst.SegOv
+	}
+	rep := inst.Rep || inst.RepNE
+	iters := 1
+	if rep {
+		cx := st.Reg(ECX, inst.AddrSize)
+		if cx == 0 {
+			return nil
+		}
+		iters = repBurst
+		if uint32(iters) > cx {
+			iters = int(cx)
+		}
+	}
+	am := sizeMask(inst.AddrSize)
+
+	for i := 0; i < iters; i++ {
+		si := st.Reg(ESI, inst.AddrSize)
+		di := st.Reg(EDI, inst.AddrSize)
+		var cmpBreak bool
+		switch op &^ 1 {
+		case 0xa4: // MOVS
+			v, err := ip.memRead(srcSeg, si, size)
+			if err != nil {
+				return err
+			}
+			if err := ip.memWrite(ES, di, size, v); err != nil {
+				return err
+			}
+			st.SetReg(ESI, inst.AddrSize, (si+delta)&am)
+			st.SetReg(EDI, inst.AddrSize, (di+delta)&am)
+		case 0xa6: // CMPS
+			a, err := ip.memRead(srcSeg, si, size)
+			if err != nil {
+				return err
+			}
+			b, err := ip.memRead(ES, di, size)
+			if err != nil {
+				return err
+			}
+			st.flagsSub(a, b, a-b, size, 0)
+			st.SetReg(ESI, inst.AddrSize, (si+delta)&am)
+			st.SetReg(EDI, inst.AddrSize, (di+delta)&am)
+			cmpBreak = true
+		case 0xaa: // STOS
+			if err := ip.memWrite(ES, di, size, st.Reg(EAX, size)); err != nil {
+				return err
+			}
+			st.SetReg(EDI, inst.AddrSize, (di+delta)&am)
+		case 0xac: // LODS
+			v, err := ip.memRead(srcSeg, si, size)
+			if err != nil {
+				return err
+			}
+			st.SetReg(EAX, size, v)
+			st.SetReg(ESI, inst.AddrSize, (si+delta)&am)
+		case 0xae: // SCAS
+			b, err := ip.memRead(ES, di, size)
+			if err != nil {
+				return err
+			}
+			a := st.Reg(EAX, size)
+			st.flagsSub(a, b, a-b, size, 0)
+			st.SetReg(EDI, inst.AddrSize, (di+delta)&am)
+			cmpBreak = true
+		}
+		if rep {
+			cx := st.Reg(ECX, inst.AddrSize) - 1
+			st.SetReg(ECX, inst.AddrSize, cx)
+			ip.InstRet++ // each iteration retires work
+			if cmpBreak {
+				z := st.GetFlag(FlagZF)
+				if inst.Rep && !z || inst.RepNE && z {
+					return nil
+				}
+			}
+			if cx == 0 {
+				return nil
+			}
+		}
+	}
+	if rep {
+		// Burst exhausted with ECX > 0: restart the instruction so the
+		// run loop can deliver interrupts in between.
+		st.EIP -= uint32(inst.Len)
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+package x86
+
+// execTwoByte executes the 0x0F escape opcodes.
+func (ip *Interp) execTwoByte(inst *Inst) error {
+	st := ip.St
+	op := int(inst.Op)
+
+	switch {
+	case op >= 0x40 && op <= 0x4f: // CMOVcc
+		v, err := ip.readRM(inst, inst.OpSize)
+		if err != nil {
+			return err
+		}
+		if st.condition(op & 0xf) {
+			st.SetReg(inst.RegOp, inst.OpSize, v)
+		}
+		return nil
+	case op >= 0x80 && op <= 0x8f: // Jcc relZ
+		if st.condition(op & 0xf) {
+			st.EIP += signExtend(inst.Imm, inst.OpSize)
+			if inst.OpSize == 2 {
+				st.EIP &= 0xffff
+			}
+		}
+		return nil
+	case op >= 0x90 && op <= 0x9f: // SETcc
+		var v uint32
+		if st.condition(op & 0xf) {
+			v = 1
+		}
+		return ip.writeRM(inst, 1, v)
+	case op >= 0xc8 && op <= 0xcf: // BSWAP
+		r := op - 0xc8
+		v := st.GPR[r]
+		st.GPR[r] = v<<24 | v<<8&0xff0000 | v>>8&0xff00 | v>>24
+		return nil
+	}
+
+	switch op {
+	case 0x00: // group 6: LLDT/LTR etc. — accepted as no-ops (flat model)
+		switch inst.RegOp {
+		case 2, 3: // LLDT, LTR
+			_, err := ip.readRM(inst, 2)
+			return err
+		}
+		return UDFault()
+	case 0x01: // group 7
+		return ip.execGroup7(inst)
+	case 0x06: // CLTS
+		return nil
+	case 0x08, 0x09: // INVD, WBINVD
+		return nil
+	case 0x0b: // UD2
+		return UDFault()
+	case 0x1f: // long NOP
+		return nil
+	case 0x20: // MOV r, CRn
+		if inst.RegOp == 1 || inst.RegOp > 4 {
+			return UDFault()
+		}
+		if ip.IC.CR {
+			return &VMExit{Reason: ExitCRAccess, CR: inst.RegOp, CRWrite: false, CRGPR: inst.RM}
+		}
+		st.GPR[inst.RM] = ip.readCR(inst.RegOp)
+		return nil
+	case 0x22: // MOV CRn, r
+		if inst.RegOp == 1 || inst.RegOp > 4 {
+			return UDFault()
+		}
+		val := st.GPR[inst.RM]
+		if ip.IC.CR {
+			return &VMExit{Reason: ExitCRAccess, CR: inst.RegOp, CRWrite: true, CRGPR: inst.RM, CRVal: val}
+		}
+		return ip.writeCR(inst.RegOp, val)
+	case 0x21, 0x23: // MOV r, DRn / MOV DRn, r — debug registers ignored
+		if op == 0x21 {
+			st.GPR[inst.RM] = 0
+		}
+		return nil
+	case 0x30: // WRMSR
+		if ip.IC.MSR {
+			return &VMExit{Reason: ExitMSR, MSR: st.GPR[ECX], MSRWrite: true,
+				MSRVal: uint64(st.GPR[EDX])<<32 | uint64(st.GPR[EAX])}
+		}
+		ip.MSRs[st.GPR[ECX]] = uint64(st.GPR[EDX])<<32 | uint64(st.GPR[EAX])
+		return nil
+	case 0x31: // RDTSC
+		if ip.IC.RDTSC {
+			return &VMExit{Reason: ExitRDTSC}
+		}
+		v := ip.tsc()
+		st.GPR[EAX] = uint32(v)
+		st.GPR[EDX] = uint32(v >> 32)
+		return nil
+	case 0x32: // RDMSR
+		if ip.IC.MSR {
+			return &VMExit{Reason: ExitMSR, MSR: st.GPR[ECX], MSRWrite: false}
+		}
+		v := ip.MSRs[st.GPR[ECX]]
+		st.GPR[EAX] = uint32(v)
+		st.GPR[EDX] = uint32(v >> 32)
+		return nil
+	case 0xa0: // PUSH FS
+		return ip.push(uint32(st.Seg[FS].Sel), inst.OpSize)
+	case 0xa1: // POP FS
+		v, err := ip.pop(inst.OpSize)
+		if err != nil {
+			return err
+		}
+		return ip.loadSeg(FS, uint16(v))
+	case 0xa8: // PUSH GS
+		return ip.push(uint32(st.Seg[GS].Sel), inst.OpSize)
+	case 0xa9: // POP GS
+		v, err := ip.pop(inst.OpSize)
+		if err != nil {
+			return err
+		}
+		return ip.loadSeg(GS, uint16(v))
+	case 0xa2: // CPUID
+		if ip.IC.CPUID {
+			return &VMExit{Reason: ExitCPUID}
+		}
+		a, b, c, d := CPUIDValues(st.GPR[EAX], st.GPR[ECX])
+		st.GPR[EAX], st.GPR[EBX], st.GPR[ECX], st.GPR[EDX] = a, b, c, d
+		return nil
+	case 0xa3, 0xab, 0xb3, 0xbb: // BT/BTS/BTR/BTC r/m, r
+		return ip.execBitTest(inst, op, st.Reg(inst.RegOp, inst.OpSize))
+	case 0xba: // group 8: BT/BTS/BTR/BTC r/m, imm8
+		if inst.RegOp < 4 {
+			return UDFault()
+		}
+		// Group 8: /4 BT, /5 BTS, /6 BTR, /7 BTC.
+		fake := map[int]int{4: 0xa3, 5: 0xab, 6: 0xb3, 7: 0xbb}[inst.RegOp]
+		return ip.execBitTest(inst, fake, inst.Imm)
+	case 0xa4, 0xac: // SHLD/SHRD r/m, r, imm8
+		return ip.execDblShift(inst, op == 0xa4, inst.Imm&31)
+	case 0xa5, 0xad: // SHLD/SHRD r/m, r, CL
+		return ip.execDblShift(inst, op == 0xa5, uint32(st.Reg8(ECX))&31)
+	case 0xaf: // IMUL r, r/m
+		src, err := ip.readRM(inst, inst.OpSize)
+		if err != nil {
+			return err
+		}
+		return ip.imul2(inst, st.Reg(inst.RegOp, inst.OpSize), src)
+	case 0xb0, 0xb1: // CMPXCHG
+		size := byteOr(op == 0xb0, inst.OpSize)
+		dst, err := ip.readRM(inst, size)
+		if err != nil {
+			return err
+		}
+		acc := st.Reg(EAX, size)
+		st.flagsSub(acc, dst, acc-dst, size, 0)
+		if acc == dst {
+			st.SetFlag(FlagZF, true)
+			return ip.writeRM(inst, size, st.Reg(inst.RegOp, size))
+		}
+		st.SetFlag(FlagZF, false)
+		st.SetReg(EAX, size, dst)
+		return nil
+	case 0xb6, 0xb7: // MOVZX
+		srcSize := 1
+		if op == 0xb7 {
+			srcSize = 2
+		}
+		v, err := ip.readRM(inst, srcSize)
+		if err != nil {
+			return err
+		}
+		st.SetReg(inst.RegOp, inst.OpSize, v)
+		return nil
+	case 0xbe, 0xbf: // MOVSX
+		srcSize := 1
+		if op == 0xbf {
+			srcSize = 2
+		}
+		v, err := ip.readRM(inst, srcSize)
+		if err != nil {
+			return err
+		}
+		st.SetReg(inst.RegOp, inst.OpSize, signExtend(v, srcSize))
+		return nil
+	case 0xbc: // BSF
+		v, err := ip.readRM(inst, inst.OpSize)
+		if err != nil {
+			return err
+		}
+		v &= sizeMask(inst.OpSize)
+		if v == 0 {
+			st.SetFlag(FlagZF, true)
+			return nil
+		}
+		st.SetFlag(FlagZF, false)
+		n := uint32(0)
+		for v&1 == 0 {
+			v >>= 1
+			n++
+		}
+		st.SetReg(inst.RegOp, inst.OpSize, n)
+		return nil
+	case 0xbd: // BSR
+		v, err := ip.readRM(inst, inst.OpSize)
+		if err != nil {
+			return err
+		}
+		v &= sizeMask(inst.OpSize)
+		if v == 0 {
+			st.SetFlag(FlagZF, true)
+			return nil
+		}
+		st.SetFlag(FlagZF, false)
+		n := uint32(0)
+		for v > 1 {
+			v >>= 1
+			n++
+		}
+		st.SetReg(inst.RegOp, inst.OpSize, n)
+		return nil
+	case 0xc0, 0xc1: // XADD
+		size := byteOr(op == 0xc0, inst.OpSize)
+		dst, err := ip.readRM(inst, size)
+		if err != nil {
+			return err
+		}
+		src := st.Reg(inst.RegOp, size)
+		res := dst + src
+		if err := ip.writeRM(inst, size, res); err != nil {
+			return err
+		}
+		st.SetReg(inst.RegOp, size, dst)
+		st.flagsAdd(dst, src, res, size, 0)
+		return nil
+	}
+	return UDFault()
+}
+
+// execBitTest implements BT/BTS/BTR/BTC with a register or immediate bit
+// index.
+func (ip *Interp) execBitTest(inst *Inst, op int, bitIdx uint32) error {
+	st := ip.St
+	bits := uint32(inst.OpSize) * 8
+	if inst.Mod == 3 {
+		v := st.Reg(inst.RM, inst.OpSize)
+		idx := bitIdx % bits
+		st.SetFlag(FlagCF, v>>idx&1 != 0)
+		switch op {
+		case 0xab:
+			v |= 1 << idx
+		case 0xb3:
+			v &^= 1 << idx
+		case 0xbb:
+			v ^= 1 << idx
+		default:
+			return nil
+		}
+		st.SetReg(inst.RM, inst.OpSize, v)
+		return nil
+	}
+	// Memory form: the bit index can address beyond the operand.
+	off, seg := inst.effectiveAddr(st)
+	byteOff := int32(bitIdx) >> 3
+	if int32(bitIdx) < 0 {
+		byteOff = (int32(bitIdx) - 7) / 8
+	}
+	addr := off + uint32(byteOff)
+	v, err := ip.memRead(seg, addr, 1)
+	if err != nil {
+		return err
+	}
+	idx := bitIdx & 7
+	st.SetFlag(FlagCF, v>>idx&1 != 0)
+	switch op {
+	case 0xab:
+		v |= 1 << idx
+	case 0xb3:
+		v &^= 1 << idx
+	case 0xbb:
+		v ^= 1 << idx
+	default:
+		return nil
+	}
+	return ip.memWrite(seg, addr, 1, v)
+}
+
+// execDblShift implements SHLD/SHRD.
+func (ip *Interp) execDblShift(inst *Inst, left bool, count uint32) error {
+	st := ip.St
+	size := inst.OpSize
+	if count == 0 {
+		return nil
+	}
+	bits := uint32(size) * 8
+	if count > bits {
+		return nil // undefined; leave unchanged
+	}
+	dst, err := ip.readRM(inst, size)
+	if err != nil {
+		return err
+	}
+	src := st.Reg(inst.RegOp, size)
+	var res uint32
+	if left {
+		wide := uint64(dst)<<bits | uint64(src)
+		wide <<= count
+		res = uint32(wide>>bits) & sizeMask(size)
+		st.SetFlag(FlagCF, dst>>(bits-count)&1 != 0)
+	} else {
+		wide := uint64(src)<<bits | uint64(dst)
+		wide >>= count
+		res = uint32(wide) & sizeMask(size)
+		st.SetFlag(FlagCF, dst>>(count-1)&1 != 0)
+	}
+	st.setSZP(res, size)
+	return ip.writeRM(inst, size, res)
+}
+
+// execGroup7 handles 0F 01: SGDT/SIDT/LGDT/LIDT/SMSW/LMSW/INVLPG.
+func (ip *Interp) execGroup7(inst *Inst) error {
+	st := ip.St
+	switch inst.RegOp {
+	case 0, 1: // SGDT/SIDT
+		if inst.Mod == 3 {
+			return UDFault()
+		}
+		t := st.GDTR
+		if inst.RegOp == 1 {
+			t = st.IDTR
+		}
+		off, seg := inst.effectiveAddr(st)
+		if err := ip.memWrite(seg, off, 2, uint32(t.Limit)); err != nil {
+			return err
+		}
+		return ip.memWrite(seg, off+2, 4, t.Base)
+	case 2, 3: // LGDT/LIDT
+		if inst.Mod == 3 {
+			return UDFault()
+		}
+		off, seg := inst.effectiveAddr(st)
+		limit, err := ip.memRead(seg, off, 2)
+		if err != nil {
+			return err
+		}
+		base, err := ip.memRead(seg, off+2, 4)
+		if err != nil {
+			return err
+		}
+		if inst.OpSize == 2 {
+			base &= 0xffffff
+		}
+		if inst.RegOp == 2 {
+			st.GDTR = DescTable{Base: base, Limit: uint16(limit)}
+		} else {
+			st.IDTR = DescTable{Base: base, Limit: uint16(limit)}
+		}
+		return nil
+	case 4: // SMSW
+		return ip.writeRM(inst, 2, st.CR0&0xffff)
+	case 6: // LMSW
+		v, err := ip.readRM(inst, 2)
+		if err != nil {
+			return err
+		}
+		if ip.IC.CR {
+			return &VMExit{Reason: ExitCRAccess, CR: 0, CRWrite: true,
+				CRVal: st.CR0&^0xf | v&0xf}
+		}
+		return ip.writeCR(0, st.CR0&^0xf|v&0xf)
+	case 7: // INVLPG
+		if inst.Mod == 3 {
+			return UDFault()
+		}
+		off, seg := inst.effectiveAddr(st)
+		la := ip.linear(seg, off)
+		if ip.IC.INVLPG {
+			return &VMExit{Reason: ExitINVLPG, Linear: la}
+		}
+		ip.Env.InvalidateTLB(st, false, la)
+		return nil
+	}
+	return UDFault()
+}
+
+// readCR reads a control register.
+func (ip *Interp) readCR(cr int) uint32 {
+	st := ip.St
+	switch cr {
+	case 0:
+		return st.CR0
+	case 2:
+		return st.CR2
+	case 3:
+		return st.CR3
+	case 4:
+		return st.CR4
+	}
+	return 0
+}
+
+// writeCR writes a control register (non-intercepted path), applying TLB
+// maintenance as hardware would.
+func (ip *Interp) writeCR(cr int, val uint32) error {
+	st := ip.St
+	switch cr {
+	case 0:
+		pgChanged := (st.CR0^val)&(CR0PG|CR0PE) != 0
+		st.CR0 = val
+		if pgChanged {
+			ip.Env.InvalidateTLB(st, true, 0)
+		}
+	case 2:
+		st.CR2 = val
+	case 3:
+		st.CR3 = val
+		ip.Env.InvalidateTLB(st, true, 0)
+	case 4:
+		st.CR4 = val
+		ip.Env.InvalidateTLB(st, true, 0)
+	}
+	return nil
+}
+
+// WriteCR is the exported variant used by the microhypervisor when it
+// emulates an intercepted CR access (vTLB mode, §5.3).
+func (ip *Interp) WriteCR(cr int, val uint32) error { return ip.writeCR(cr, val) }
+
+// ReadCR is the exported variant for intercepted CR reads.
+func (ip *Interp) ReadCR(cr int) uint32 { return ip.readCR(cr) }

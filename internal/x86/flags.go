@@ -1,0 +1,117 @@
+package x86
+
+// Flag computation helpers. Arithmetic flags follow the Intel SDM
+// definitions for each operation class; size is the operand size in
+// bytes (1, 2 or 4).
+
+func signBit(size int) uint32 { return 1 << (uint(size)*8 - 1) }
+
+func sizeMask(size int) uint32 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+// parity8 reports even parity of the low byte.
+func parity8(v uint32) bool {
+	v &= 0xff
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 0
+}
+
+// setSZP sets SF, ZF and PF from a result.
+func (c *CPUState) setSZP(res uint32, size int) {
+	res &= sizeMask(size)
+	c.SetFlag(FlagZF, res == 0)
+	c.SetFlag(FlagSF, res&signBit(size) != 0)
+	c.SetFlag(FlagPF, parity8(res))
+}
+
+// flagsAdd sets all arithmetic flags for dst + src (+carryIn) = res.
+func (c *CPUState) flagsAdd(dst, src, res uint32, size int, carryIn uint32) {
+	m := sizeMask(size)
+	dst, src, res = dst&m, src&m, res&m
+	c.setSZP(res, size)
+	c.SetFlag(FlagCF, uint64(dst)+uint64(src)+uint64(carryIn) > uint64(m))
+	c.SetFlag(FlagAF, (dst^src^res)&0x10 != 0)
+	c.SetFlag(FlagOF, (dst^res)&(src^res)&signBit(size) != 0)
+}
+
+// flagsSub sets all arithmetic flags for dst - src (- borrowIn) = res.
+func (c *CPUState) flagsSub(dst, src, res uint32, size int, borrowIn uint32) {
+	m := sizeMask(size)
+	dst, src, res = dst&m, src&m, res&m
+	c.setSZP(res, size)
+	c.SetFlag(FlagCF, uint64(dst) < uint64(src)+uint64(borrowIn))
+	c.SetFlag(FlagAF, (dst^src^res)&0x10 != 0)
+	c.SetFlag(FlagOF, (dst^src)&(dst^res)&signBit(size) != 0)
+}
+
+// flagsLogic sets flags for AND/OR/XOR/TEST results: CF=OF=0.
+func (c *CPUState) flagsLogic(res uint32, size int) {
+	c.setSZP(res, size)
+	c.SetFlag(FlagCF, false)
+	c.SetFlag(FlagOF, false)
+	c.SetFlag(FlagAF, false)
+}
+
+// flagsInc sets flags for INC (CF unchanged).
+func (c *CPUState) flagsInc(res uint32, size int) {
+	c.setSZP(res, size)
+	c.SetFlag(FlagAF, res&0xf == 0)
+	c.SetFlag(FlagOF, res&sizeMask(size) == signBit(size))
+}
+
+// flagsDec sets flags for DEC (CF unchanged).
+func (c *CPUState) flagsDec(res uint32, size int) {
+	c.setSZP(res, size)
+	c.SetFlag(FlagAF, res&0xf == 0xf)
+	c.SetFlag(FlagOF, res&sizeMask(size) == signBit(size)-1)
+}
+
+// condition evaluates a Jcc/SETcc/CMOVcc condition code (low nibble of
+// the opcode).
+func (c *CPUState) condition(cc int) bool {
+	var r bool
+	switch cc >> 1 {
+	case 0: // O
+		r = c.GetFlag(FlagOF)
+	case 1: // B/C
+		r = c.GetFlag(FlagCF)
+	case 2: // Z/E
+		r = c.GetFlag(FlagZF)
+	case 3: // BE
+		r = c.GetFlag(FlagCF) || c.GetFlag(FlagZF)
+	case 4: // S
+		r = c.GetFlag(FlagSF)
+	case 5: // P
+		r = c.GetFlag(FlagPF)
+	case 6: // L
+		r = c.GetFlag(FlagSF) != c.GetFlag(FlagOF)
+	case 7: // LE
+		r = c.GetFlag(FlagZF) || c.GetFlag(FlagSF) != c.GetFlag(FlagOF)
+	}
+	if cc&1 != 0 {
+		return !r
+	}
+	return r
+}
+
+// signExtend widens v of the given byte size to 32 bits.
+func signExtend(v uint32, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(int32(int8(v)))
+	case 2:
+		return uint32(int32(int16(v)))
+	default:
+		return v
+	}
+}

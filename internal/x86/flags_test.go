@@ -1,0 +1,282 @@
+package x86
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flagRig executes `op eax, [mem]` snippets repeatedly with fresh
+// operands, capturing EFLAGS via PUSHFD.
+type flagRig struct {
+	env *flatEnv
+	ip  *Interp
+	st  *CPUState
+}
+
+func newFlagRig(t *testing.T, mnemonic string) *flagRig {
+	t.Helper()
+	code := MustAssemble("bits 32\norg 0x1000\n" +
+		"	mov eax, [0x5000]\n" +
+		"	" + mnemonic + " eax, [0x5004]\n" +
+		"	pushfd\n" +
+		"	pop ebx\n" +
+		"	hlt\n")
+	env := newFlatEnv(1 << 20)
+	copy(env.mem[0x1000:], code)
+	st := &CPUState{}
+	ip := NewInterp(env, st, Intercepts{})
+	return &flagRig{env: env, ip: ip, st: st}
+}
+
+// run executes the snippet with the given operands and returns
+// (result, eflags).
+func (r *flagRig) run(t *testing.T, a, b uint32) (uint32, uint32) {
+	t.Helper()
+	r.st.Reset()
+	r.st.CR0 = CR0PE
+	for i := range r.st.Seg {
+		r.st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	r.st.EIP = 0x1000
+	r.st.GPR[ESP] = 0x80000
+	for i := 0; i < 4; i++ {
+		r.env.mem[0x5000+i] = byte(a >> (8 * uint(i)))
+		r.env.mem[0x5004+i] = byte(b >> (8 * uint(i)))
+	}
+	for i := 0; i < 10 && !r.st.Halted; i++ {
+		if err := r.ip.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return r.st.GPR[EAX], r.st.GPR[EBX]
+}
+
+// Reference flag computations per the Intel SDM.
+func refParity(v uint32) bool {
+	v &= 0xff
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 0
+}
+
+type refFlags struct{ cf, pf, af, zf, sf, of bool }
+
+func refAdd(a, b uint32) (uint32, refFlags) {
+	res := a + b
+	return res, refFlags{
+		cf: uint64(a)+uint64(b) > 0xffffffff,
+		pf: refParity(res),
+		af: (a^b^res)&0x10 != 0,
+		zf: res == 0,
+		sf: res>>31 != 0,
+		of: (a^res)&(b^res)>>31&1 != 0,
+	}
+}
+
+func refSub(a, b uint32) (uint32, refFlags) {
+	res := a - b
+	return res, refFlags{
+		cf: a < b,
+		pf: refParity(res),
+		af: (a^b^res)&0x10 != 0,
+		zf: res == 0,
+		sf: res>>31 != 0,
+		of: (a^b)&(a^res)>>31&1 != 0,
+	}
+}
+
+func refLogic(res uint32) refFlags {
+	return refFlags{pf: refParity(res), zf: res == 0, sf: res>>31 != 0}
+}
+
+func checkFlags(t *testing.T, mnem string, a, b, gotRes, gotFl uint32, wantRes uint32, want refFlags) bool {
+	t.Helper()
+	if gotRes != wantRes {
+		t.Errorf("%s(%#x,%#x): result %#x, want %#x", mnem, a, b, gotRes, wantRes)
+		return false
+	}
+	for _, c := range []struct {
+		name string
+		bit  uint32
+		want bool
+	}{
+		{"CF", FlagCF, want.cf}, {"PF", FlagPF, want.pf}, {"AF", FlagAF, want.af},
+		{"ZF", FlagZF, want.zf}, {"SF", FlagSF, want.sf}, {"OF", FlagOF, want.of},
+	} {
+		if got := gotFl&c.bit != 0; got != c.want {
+			t.Errorf("%s(%#x,%#x): %s = %v, want %v", mnem, a, b, c.name, got, c.want)
+			return false
+		}
+	}
+	return true
+}
+
+func TestALUFlagsAgainstReference(t *testing.T) {
+	type refFn func(a, b uint32) (uint32, refFlags)
+	cases := map[string]refFn{
+		"add": refAdd,
+		"sub": refSub,
+		"and": func(a, b uint32) (uint32, refFlags) { return a & b, refLogic(a & b) },
+		"or":  func(a, b uint32) (uint32, refFlags) { return a | b, refLogic(a | b) },
+		"xor": func(a, b uint32) (uint32, refFlags) { return a ^ b, refLogic(a ^ b) },
+	}
+	for mnem, ref := range cases {
+		rig := newFlagRig(t, mnem)
+		f := func(a, b uint32) bool {
+			gotRes, gotFl := rig.run(t, a, b)
+			wantRes, want := ref(a, b)
+			return checkFlags(t, mnem, a, b, gotRes, gotFl, wantRes, want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", mnem, err)
+		}
+		// Edge cases quick.Check may miss.
+		for _, p := range [][2]uint32{
+			{0, 0}, {0xffffffff, 1}, {0x7fffffff, 1}, {0x80000000, 0x80000000},
+			{0x80000000, 1}, {1, 0xffffffff},
+		} {
+			gotRes, gotFl := rig.run(t, p[0], p[1])
+			wantRes, want := ref(p[0], p[1])
+			checkFlags(t, mnem, p[0], p[1], gotRes, gotFl, wantRes, want)
+		}
+	}
+}
+
+func TestCmpMatchesSubFlags(t *testing.T) {
+	rig := newFlagRig(t, "cmp")
+	f := func(a, b uint32) bool {
+		gotRes, gotFl := rig.run(t, a, b)
+		if gotRes != a {
+			t.Errorf("cmp modified eax: %#x", gotRes)
+			return false
+		}
+		_, want := refSub(a, b)
+		return checkFlags(t, "cmp", a, b, a, gotFl, a, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncDecPreserveCF(t *testing.T) {
+	// INC/DEC must leave CF untouched (stc first, then inc).
+	for _, src := range []string{
+		"stc\n	inc eax\n", "stc\n	dec eax\n",
+	} {
+		env := newFlatEnv(1 << 20)
+		code := MustAssemble("bits 32\norg 0x1000\n	mov eax, 5\n	" + src + "	hlt\n")
+		copy(env.mem[0x1000:], code)
+		st := &CPUState{}
+		st.Reset()
+		st.CR0 = CR0PE
+		for i := range st.Seg {
+			st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+		}
+		st.EIP = 0x1000
+		ip := NewInterp(env, st, Intercepts{})
+		for i := 0; i < 10 && !st.Halted; i++ {
+			if err := ip.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !st.GetFlag(FlagCF) {
+			t.Errorf("%q cleared CF", src)
+		}
+	}
+}
+
+func TestShiftFlagReference(t *testing.T) {
+	// SHL/SHR carry = last bit shifted out.
+	for _, tc := range []struct {
+		src    string
+		val    uint32
+		wantCF bool
+		want   uint32
+	}{
+		{"shl eax, 1", 0x80000000, true, 0},
+		{"shl eax, 1", 0x40000000, false, 0x80000000},
+		{"shr eax, 1", 1, true, 0},
+		{"shr eax, 4", 0x18, true, 1},
+		{"sar eax, 1", 0x80000000, false, 0xc0000000},
+		{"sar eax, 31", 0xffffffff, true, 0xffffffff},
+	} {
+		env := newFlatEnv(1 << 20)
+		code := MustAssemble("bits 32\norg 0x1000\n	" + tc.src + "\n	hlt\n")
+		copy(env.mem[0x1000:], code)
+		st := &CPUState{}
+		st.Reset()
+		st.CR0 = CR0PE
+		for i := range st.Seg {
+			st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+		}
+		st.EIP = 0x1000
+		st.GPR[EAX] = tc.val
+		ip := NewInterp(env, st, Intercepts{})
+		for i := 0; i < 10 && !st.Halted; i++ {
+			if err := ip.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.GPR[EAX] != tc.want {
+			t.Errorf("%q(%#x): result %#x, want %#x", tc.src, tc.val, st.GPR[EAX], tc.want)
+		}
+		if st.GetFlag(FlagCF) != tc.wantCF {
+			t.Errorf("%q(%#x): CF = %v, want %v", tc.src, tc.val, st.GetFlag(FlagCF), tc.wantCF)
+		}
+	}
+}
+
+func TestMulDivReference(t *testing.T) {
+	// MUL/DIV against Go's 64-bit arithmetic.
+	f := func(a, b uint32) bool {
+		if b == 0 {
+			return true
+		}
+		env := newFlatEnv(1 << 20)
+		code := MustAssemble(`bits 32
+org 0x1000
+	mov eax, [0x5000]
+	mov ecx, [0x5004]
+	mul ecx
+	mov esi, eax
+	mov edi, edx
+	mov eax, [0x5000]
+	xor edx, edx
+	div ecx
+	hlt`)
+		copy(env.mem[0x1000:], code)
+		st := &CPUState{}
+		st.Reset()
+		st.CR0 = CR0PE
+		for i := range st.Seg {
+			st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+		}
+		st.EIP = 0x1000
+		for i := 0; i < 4; i++ {
+			env.mem[0x5000+i] = byte(a >> (8 * uint(i)))
+			env.mem[0x5004+i] = byte(b >> (8 * uint(i)))
+		}
+		ip := NewInterp(env, st, Intercepts{})
+		for i := 0; i < 20 && !st.Halted; i++ {
+			if err := ip.Step(); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+		}
+		prod := uint64(a) * uint64(b)
+		if st.GPR[ESI] != uint32(prod) || st.GPR[EDI] != uint32(prod>>32) {
+			t.Errorf("mul(%#x,%#x) = %#x:%#x, want %#x:%#x", a, b, st.GPR[EDI], st.GPR[ESI],
+				uint32(prod>>32), uint32(prod))
+			return false
+		}
+		if st.GPR[EAX] != a/b || st.GPR[EDX] != a%b {
+			t.Errorf("div(%#x,%#x) = q%#x r%#x, want q%#x r%#x", a, b,
+				st.GPR[EAX], st.GPR[EDX], a/b, a%b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

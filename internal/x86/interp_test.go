@@ -1,0 +1,658 @@
+package x86
+
+import "testing"
+
+// flatEnv is a test environment: identity-mapped memory, recorded port
+// I/O, no intercepts.
+type flatEnv struct {
+	mem   []byte
+	ports map[uint16]uint32
+	outs  []portOp
+	invs  int
+}
+
+type portOp struct {
+	port uint16
+	size int
+	val  uint32
+}
+
+func newFlatEnv(size int) *flatEnv {
+	return &flatEnv{mem: make([]byte, size), ports: make(map[uint16]uint32)}
+}
+
+func (e *flatEnv) MemRead(st *CPUState, va uint32, size int, kind AccessKind) (uint32, error) {
+	if int(va)+size > len(e.mem) {
+		return 0, PageFault(va, false, false, false)
+	}
+	var v uint32
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint32(e.mem[va+uint32(i)])
+	}
+	return v, nil
+}
+
+func (e *flatEnv) MemWrite(st *CPUState, va uint32, size int, val uint32) error {
+	if int(va)+size > len(e.mem) {
+		return PageFault(va, false, true, false)
+	}
+	for i := 0; i < size; i++ {
+		e.mem[va+uint32(i)] = byte(val >> (8 * uint(i)))
+	}
+	return nil
+}
+
+func (e *flatEnv) In(port uint16, size int) (uint32, error) { return e.ports[port], nil }
+
+func (e *flatEnv) Out(port uint16, size int, val uint32) error {
+	e.outs = append(e.outs, portOp{port, size, val})
+	return nil
+}
+
+func (e *flatEnv) InvalidateTLB(st *CPUState, all bool, va uint32) { e.invs++ }
+
+// run32 assembles src as 32-bit code at org 0, loads it at 0x1000 with a
+// flat protected-mode setup, and steps until HLT or maxSteps.
+func run32(t *testing.T, src string, maxSteps int) (*Interp, *flatEnv) {
+	t.Helper()
+	code := MustAssemble("bits 32\norg 0x1000\n" + src)
+	env := newFlatEnv(1 << 20)
+	copy(env.mem[0x1000:], code)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	st.GPR[ESP] = 0x80000
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < maxSteps; i++ {
+		if st.Halted {
+			return ip, env
+		}
+		if err := ip.Step(); err != nil {
+			t.Fatalf("step %d: %v (state %v)", i, err, st)
+		}
+	}
+	if !st.Halted {
+		t.Fatalf("did not halt after %d steps: %v", maxSteps, st)
+	}
+	return ip, env
+}
+
+func TestInterpMovArithmetic(t *testing.T) {
+	ip, _ := run32(t, `
+		mov eax, 5
+		mov ebx, 7
+		add eax, ebx
+		sub eax, 2
+		imul eax, eax, 3
+		hlt`, 100)
+	if got := ip.St.GPR[EAX]; got != 30 {
+		t.Errorf("eax = %d, want 30", got)
+	}
+}
+
+func TestInterpFlagsAndJcc(t *testing.T) {
+	ip, _ := run32(t, `
+		mov ecx, 10
+		xor eax, eax
+	loop_top:
+		add eax, ecx
+		dec ecx
+		jnz loop_top
+		hlt`, 200)
+	if got := ip.St.GPR[EAX]; got != 55 {
+		t.Errorf("eax = %d, want 55", got)
+	}
+}
+
+func TestInterpMemoryAndStack(t *testing.T) {
+	ip, env := run32(t, `
+		mov eax, 0xdeadbeef
+		mov [0x2000], eax
+		mov ebx, [0x2000]
+		push ebx
+		pop ecx
+		hlt`, 100)
+	if ip.St.GPR[ECX] != 0xdeadbeef {
+		t.Errorf("ecx = %#x", ip.St.GPR[ECX])
+	}
+	if env.mem[0x2000] != 0xef || env.mem[0x2003] != 0xde {
+		t.Error("little-endian store wrong")
+	}
+}
+
+func TestInterpCallRet(t *testing.T) {
+	ip, _ := run32(t, `
+		mov eax, 1
+		call fn
+		add eax, 100
+		hlt
+	fn:
+		add eax, 10
+		ret`, 100)
+	if ip.St.GPR[EAX] != 111 {
+		t.Errorf("eax = %d, want 111", ip.St.GPR[EAX])
+	}
+}
+
+func TestInterpSIBAddressing(t *testing.T) {
+	ip, _ := run32(t, `
+		mov ebx, 0x2000
+		mov esi, 4
+		mov dword [ebx+esi*4+8], 42
+		mov eax, [0x2018]
+		hlt`, 100)
+	if ip.St.GPR[EAX] != 42 {
+		t.Errorf("eax = %d, want 42", ip.St.GPR[EAX])
+	}
+}
+
+func TestInterpMulDiv(t *testing.T) {
+	ip, _ := run32(t, `
+		mov eax, 100
+		mov ebx, 7
+		xor edx, edx
+		div ebx
+		mov esi, eax
+		mov edi, edx
+		hlt`, 100)
+	if ip.St.GPR[ESI] != 14 || ip.St.GPR[EDI] != 2 {
+		t.Errorf("q=%d r=%d, want 14 2", ip.St.GPR[ESI], ip.St.GPR[EDI])
+	}
+}
+
+func TestInterpDivideByZeroFaults(t *testing.T) {
+	// Set up an IDT entry for #DE that halts.
+	src := `
+		; IDT at 0x3000 - entry 0 points to handler
+		mov dword [0x3000], handler_lo
+		mov dword [0x3004], 0x00008e00
+		mov word [0x3000], handler
+		mov word [0x3006], 0
+		lidt [idtr]
+		xor ebx, ebx
+		mov eax, 1
+		div ebx
+		; never reached
+		mov eax, 0xbad
+		hlt
+	handler:
+		mov eax, 0x600d
+		hlt
+	idtr:
+		dw 0x7ff
+		dd 0x3000
+	handler_lo: dd 0
+	`
+	// Patch: the code above writes handler offset into IDT low word and
+	// selector must be code segment. Build IDT programmatically instead.
+	code := MustAssemble("bits 32\norg 0x1000\n" + `
+		lidt [idtr]
+		xor ebx, ebx
+		mov eax, 1
+		div ebx
+		mov eax, 0xbad
+		hlt
+	handler:
+		mov eax, 0x600d
+		hlt
+	idtr:
+		dw 0x7ff
+		dd 0x3000
+	`)
+	_ = src
+	env := newFlatEnv(1 << 20)
+	copy(env.mem[0x1000:], code)
+	// Find handler offset: it's right after "mov eax, 0xbad; hlt":
+	// lidt(7? bytes)... instead locate 0x600d constant after assembling.
+	// Simpler: assemble handler at a fixed org.
+	handler := MustAssemble("bits 32\norg 0x5000\nmov eax, 0x600d\nhlt")
+	copy(env.mem[0x5000:], handler)
+	// GDT at 0x4000: null + flat code descriptor at selector 0x08.
+	gdt := []byte{
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0xff, 0xff, 0, 0, 0, 0x9a, 0xcf, 0, // flat 32-bit code
+	}
+	copy(env.mem[0x4000:], gdt)
+	// IDT entry 0 at 0x3000: offset 0x5000, selector 0x08, 32-bit
+	// interrupt gate.
+	idt := []byte{0x00, 0x50, 0x08, 0x00, 0x00, 0x8e, 0x00, 0x00}
+	copy(env.mem[0x3000:], idt)
+
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Sel: 0x08, Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.GDTR = DescTable{Base: 0x4000, Limit: 0xff}
+	st.EIP = 0x1000
+	st.GPR[ESP] = 0x80000
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < 100 && !st.Halted; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if st.GPR[EAX] != 0x600d {
+		t.Errorf("eax = %#x, want 0x600d (handler did not run)", st.GPR[EAX])
+	}
+}
+
+func TestInterpStringOps(t *testing.T) {
+	ip, env := run32(t, `
+		cld
+		mov esi, src_data
+		mov edi, 0x2000
+		mov ecx, 3
+		rep movsd
+		mov eax, [0x2008]
+		hlt
+	src_data:
+		dd 0x11111111, 0x22222222, 0x33333333`, 300)
+	if ip.St.GPR[EAX] != 0x33333333 {
+		t.Errorf("eax = %#x", ip.St.GPR[EAX])
+	}
+	if ip.St.GPR[ECX] != 0 {
+		t.Errorf("ecx = %d after rep", ip.St.GPR[ECX])
+	}
+	_ = env
+}
+
+func TestInterpRepStosLarge(t *testing.T) {
+	// Exceeds the REP burst: instruction must restart transparently.
+	ip, env := run32(t, `
+		cld
+		mov edi, 0x2000
+		mov eax, 0xabababab
+		mov ecx, 1000
+		rep stosd
+		hlt`, 5000)
+	if ip.St.GPR[ECX] != 0 {
+		t.Fatalf("ecx = %d", ip.St.GPR[ECX])
+	}
+	for _, off := range []int{0x2000, 0x2000 + 999*4} {
+		if env.mem[off] != 0xab {
+			t.Errorf("mem[%#x] = %#x", off, env.mem[off])
+		}
+	}
+	if env.mem[0x2000+1000*4] == 0xab {
+		t.Error("stosd wrote past the end")
+	}
+}
+
+func TestInterpPortIO(t *testing.T) {
+	code := `
+		mov al, 0x42
+		out 0x80, al
+		mov dx, 0x3f8
+		mov al, 'X'
+		out dx, al
+		in al, 0x60
+		hlt`
+	env := newFlatEnv(1 << 20)
+	env.ports[0x60] = 0x99
+	bin := MustAssemble("bits 32\norg 0x1000\n" + code)
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	st.GPR[ESP] = 0x80000
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < 50 && !st.Halted; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(env.outs) != 2 || env.outs[0].port != 0x80 || env.outs[0].val != 0x42 {
+		t.Errorf("outs = %+v", env.outs)
+	}
+	if env.outs[1].port != 0x3f8 || env.outs[1].val != 'X' {
+		t.Errorf("outs[1] = %+v", env.outs[1])
+	}
+	if st.Reg8(EAX) != 0x99 {
+		t.Errorf("al = %#x after in", st.Reg8(EAX))
+	}
+}
+
+func TestInterpIOIntercept(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	bin := MustAssemble("bits 32\norg 0x1000\nout 0x80, al\nhlt")
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	st.SetReg8(EAX, 0x55)
+	ip := NewInterp(env, st, FullVirt())
+	err := ip.Step()
+	exit, ok := err.(*VMExit)
+	if !ok {
+		t.Fatalf("want VMExit, got %v", err)
+	}
+	if exit.Reason != ExitIO || exit.Port != 0x80 || exit.In || exit.OutVal != 0x55 {
+		t.Errorf("exit = %+v", exit)
+	}
+	if exit.InstLen != 2 {
+		t.Errorf("instlen = %d, want 2", exit.InstLen)
+	}
+	if st.EIP != 0x1000 {
+		t.Errorf("EIP advanced to %#x despite exit", st.EIP)
+	}
+}
+
+func TestInterpHLTAndCPUIDIntercepts(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	bin := MustAssemble("bits 32\norg 0x1000\ncpuid\nhlt")
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	ip := NewInterp(env, st, FullVirt())
+	exit, ok := ip.Step().(*VMExit)
+	if !ok || exit.Reason != ExitCPUID {
+		t.Fatalf("want cpuid exit, got %v", exit)
+	}
+	// Emulate what the VMM would do: advance EIP.
+	st.EIP += uint32(exit.InstLen)
+	exit, ok = ip.Step().(*VMExit)
+	if !ok || exit.Reason != ExitHLT {
+		t.Fatalf("want hlt exit, got %v", exit)
+	}
+}
+
+func TestInterpCRInterceptAndINVLPG(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	bin := MustAssemble("bits 32\norg 0x1000\nmov cr3, eax\nhlt")
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	st.GPR[EAX] = 0x9000
+	ip := NewInterp(env, st, VTLBVirt())
+	exit, ok := ip.Step().(*VMExit)
+	if !ok || exit.Reason != ExitCRAccess || !exit.CRWrite || exit.CR != 3 || exit.CRVal != 0x9000 {
+		t.Fatalf("exit = %+v", exit)
+	}
+	// Without interception the write lands and flushes.
+	ip.IC = Intercepts{}
+	if err := ip.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if st.CR3 != 0x9000 {
+		t.Errorf("cr3 = %#x", st.CR3)
+	}
+	if env.invs == 0 {
+		t.Error("CR3 write did not flush TLB")
+	}
+}
+
+func TestInterpCPUIDNative(t *testing.T) {
+	ip, _ := run32(t, `
+		xor eax, eax
+		cpuid
+		hlt`, 10)
+	if ip.St.GPR[EAX] != 1 {
+		t.Errorf("cpuid max leaf = %d", ip.St.GPR[EAX])
+	}
+	if ip.St.GPR[EBX] == 0 {
+		t.Error("vendor string empty")
+	}
+}
+
+func TestInterpRealModeIVT(t *testing.T) {
+	// Real-mode software interrupt through the IVT.
+	env := newFlatEnv(1 << 20)
+	// IVT entry 0x21 -> 0x0000:0x5000.
+	env.mem[0x21*4] = 0x00
+	env.mem[0x21*4+1] = 0x50
+	main := MustAssemble("bits 16\norg 0x7c00\nmov ax, 0x1234\nint 0x21\nhlt")
+	copy(env.mem[0x7c00:], main)
+	isr := MustAssemble("bits 16\norg 0x5000\nmov bx, ax\niret")
+	copy(env.mem[0x5000:], isr)
+
+	st := &CPUState{}
+	st.Reset()
+	st.GPR[ESP] = 0x7000
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < 20 && !st.Halted; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Halted {
+		t.Fatal("did not halt")
+	}
+	if st.Reg(EBX, 2) != 0x1234 {
+		t.Errorf("bx = %#x, want 0x1234", st.Reg(EBX, 2))
+	}
+}
+
+func TestInterpRealToProtectedSwitch(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	// GDT at 0x800: null, code (0x08), data (0x10), all flat 32-bit.
+	gdt := []byte{
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0xff, 0xff, 0, 0, 0, 0x9a, 0xcf, 0,
+		0xff, 0xff, 0, 0, 0, 0x92, 0xcf, 0,
+	}
+	copy(env.mem[0x800:], gdt)
+	boot := MustAssemble(`bits 16
+org 0x7c00
+	cli
+	lgdt [gdtr]
+	mov eax, cr0
+	or eax, 1
+	mov cr0, eax
+	jmp dword 0x08:0x8000
+gdtr:
+	dw 23
+	dd 0x800`)
+	copy(env.mem[0x7c00:], boot)
+	pm := MustAssemble(`bits 32
+org 0x8000
+	mov ax, 0x10
+	mov ds, ax
+	mov ss, ax
+	mov esp, 0x90000
+	mov dword [0x2000], 0xfeedface
+	hlt`)
+	copy(env.mem[0x8000:], pm)
+
+	st := &CPUState{}
+	st.Reset()
+	st.GPR[ESP] = 0x7000
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < 50 && !st.Halted; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatalf("step: %v st=%v", err, st)
+		}
+	}
+	if !st.Halted {
+		t.Fatal("did not halt")
+	}
+	if !st.ProtectedMode() {
+		t.Error("not in protected mode")
+	}
+	if !st.Seg[CS].Def32 {
+		t.Error("CS not 32-bit")
+	}
+	v, _ := env.MemRead(st, 0x2000, 4, AccessRead)
+	if v != 0xfeedface {
+		t.Errorf("mem = %#x", v)
+	}
+}
+
+func TestInterpInterruptDelivery(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	gdt := []byte{
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0xff, 0xff, 0, 0, 0, 0x9a, 0xcf, 0,
+	}
+	copy(env.mem[0x4000:], gdt)
+	// IDT vector 0x20 -> 0x5000.
+	idtOff := 0x3000 + 0x20*8
+	copy(env.mem[idtOff:], []byte{0x00, 0x50, 0x08, 0x00, 0x00, 0x8e, 0x00, 0x00})
+	isr := MustAssemble("bits 32\norg 0x5000\nmov ebx, 77\niretd")
+	copy(env.mem[0x5000:], isr)
+	main := MustAssemble("bits 32\norg 0x1000\nspin: inc eax\njmp spin")
+	copy(env.mem[0x1000:], main)
+
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Sel: 0x08, Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.GDTR = DescTable{Base: 0x4000, Limit: 0xff}
+	st.IDTR = DescTable{Base: 0x3000, Limit: 0x7ff}
+	st.EIP = 0x1000
+	st.GPR[ESP] = 0x80000
+	st.SetFlag(FlagIF, true)
+	ip := NewInterp(env, st, Intercepts{})
+	for i := 0; i < 5; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ip.Interruptible() {
+		t.Fatal("not interruptible")
+	}
+	if err := ip.Interrupt(0x20); err != nil {
+		t.Fatal(err)
+	}
+	// IF must be masked inside the handler (interrupt gate).
+	if st.IF() {
+		t.Error("IF still set inside handler")
+	}
+	savedEIP := st.EIP
+	if savedEIP != 0x5000 {
+		t.Fatalf("EIP = %#x, want 0x5000", savedEIP)
+	}
+	// Run the ISR to IRETD.
+	for i := 0; i < 5 && st.EIP >= 0x5000 && st.EIP < 0x6000; i++ {
+		if err := ip.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.GPR[EBX] != 77 {
+		t.Errorf("ebx = %d", st.GPR[EBX])
+	}
+	if !st.IF() {
+		t.Error("IF not restored by iretd")
+	}
+	if st.EIP < 0x1000 || st.EIP > 0x1010 {
+		t.Errorf("did not return to main loop: eip=%#x", st.EIP)
+	}
+}
+
+func TestInterpHaltedWaitsForInterrupt(t *testing.T) {
+	ip, _ := run32(t, "hlt", 5)
+	if !ip.St.Halted {
+		t.Fatal("not halted")
+	}
+	// Step on a halted CPU is a no-op.
+	before := ip.InstRet
+	if err := ip.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if ip.InstRet != before {
+		t.Error("halted CPU retired instructions")
+	}
+}
+
+func TestInterpSTIShadow(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	bin := MustAssemble("bits 32\norg 0x1000\ncli\nsti\nnop\nhlt")
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	ip := NewInterp(env, st, Intercepts{})
+	ip.Step() // cli
+	ip.Step() // sti -> shadow
+	if ip.Interruptible() {
+		t.Error("interruptible during STI shadow")
+	}
+	ip.Step() // nop clears shadow
+	if !ip.Interruptible() {
+		t.Error("not interruptible after shadow expires")
+	}
+}
+
+func TestInterpMovzxMovsxBitOps(t *testing.T) {
+	ip, _ := run32(t, `
+		mov eax, 0xff80
+		movzx ebx, ax
+		movsx ecx, al
+		mov edx, 1
+		shl edx, 4
+		shr eax, 8
+		hlt`, 50)
+	if ip.St.GPR[EBX] != 0xff80 {
+		t.Errorf("movzx = %#x", ip.St.GPR[EBX])
+	}
+	if ip.St.GPR[ECX] != 0xffffff80 {
+		t.Errorf("movsx = %#x", ip.St.GPR[ECX])
+	}
+	if ip.St.GPR[EDX] != 16 {
+		t.Errorf("shl = %d", ip.St.GPR[EDX])
+	}
+	if ip.St.GPR[EAX] != 0xff {
+		t.Errorf("shr = %#x", ip.St.GPR[EAX])
+	}
+}
+
+func TestInterpXchgCmpxchg(t *testing.T) {
+	ip, _ := run32(t, `
+		mov eax, 1
+		mov ebx, 2
+		xchg eax, ebx
+		hlt`, 10)
+	if ip.St.GPR[EAX] != 2 || ip.St.GPR[EBX] != 1 {
+		t.Errorf("xchg: eax=%d ebx=%d", ip.St.GPR[EAX], ip.St.GPR[EBX])
+	}
+}
+
+func TestInterpRDTSC(t *testing.T) {
+	env := newFlatEnv(1 << 20)
+	bin := MustAssemble("bits 32\norg 0x1000\nrdtsc\nhlt")
+	copy(env.mem[0x1000:], bin)
+	st := &CPUState{}
+	st.Reset()
+	st.CR0 = CR0PE
+	for i := range st.Seg {
+		st.Seg[i] = Segment{Base: 0, Limit: 0xffffffff, Def32: true}
+	}
+	st.EIP = 0x1000
+	ip := NewInterp(env, st, Intercepts{})
+	ip.TSC = func() uint64 { return 0x123456789a }
+	if err := ip.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if st.GPR[EAX] != 0x3456789a || st.GPR[EDX] != 0x12 {
+		t.Errorf("rdtsc: edx:eax = %#x:%#x", st.GPR[EDX], st.GPR[EAX])
+	}
+}

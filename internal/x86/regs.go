@@ -1,0 +1,239 @@
+// Package x86 implements the instruction-set layer of the simulated
+// platform: an instruction decoder, an interpreter for real mode and
+// 32-bit protected mode with paging, a guest page-table walker, and a
+// small assembler used to build guest kernels.
+//
+// The decoder and execution core are shared between the two places the
+// paper needs them: "guest mode" execution of a virtual machine (the
+// substitute for Intel VT-x), and the user-level VMM's instruction
+// emulator (§7.1), which decodes and executes exactly the faulting
+// instructions the guest ran.
+package x86
+
+import "fmt"
+
+// General-purpose register indices, in ModRM encoding order.
+const (
+	EAX = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+)
+
+// Segment register indices, in ModRM/sreg encoding order.
+const (
+	ES = iota
+	CS
+	SS
+	DS
+	FS
+	GS
+)
+
+// EFLAGS bits.
+const (
+	FlagCF uint32 = 1 << 0
+	FlagPF uint32 = 1 << 2
+	FlagAF uint32 = 1 << 4
+	FlagZF uint32 = 1 << 6
+	FlagSF uint32 = 1 << 7
+	FlagTF uint32 = 1 << 8
+	FlagIF uint32 = 1 << 9
+	FlagDF uint32 = 1 << 10
+	FlagOF uint32 = 1 << 11
+
+	// FlagsFixed is always set in EFLAGS (bit 1).
+	FlagsFixed uint32 = 1 << 1
+)
+
+// CR0 bits.
+const (
+	CR0PE uint32 = 1 << 0 // protected mode enable
+	CR0WP uint32 = 1 << 16
+	CR0PG uint32 = 1 << 31 // paging enable
+)
+
+// CR4 bits.
+const (
+	CR4PSE uint32 = 1 << 4 // 4M pages
+	CR4PGE uint32 = 1 << 7 // global pages
+)
+
+// Exception vectors.
+const (
+	VecDE = 0  // divide error
+	VecDB = 1  // debug
+	VecBP = 3  // breakpoint
+	VecUD = 6  // invalid opcode
+	VecNM = 7  // device not available
+	VecDF = 8  // double fault
+	VecGP = 13 // general protection
+	VecPF = 14 // page fault
+)
+
+// Segment is a segment register with its cached descriptor.
+type Segment struct {
+	Sel   uint16
+	Base  uint32
+	Limit uint32
+	Def32 bool // D/B bit: default operand/address size is 32-bit
+}
+
+// DescTable is GDTR or IDTR.
+type DescTable struct {
+	Base  uint32
+	Limit uint16
+}
+
+// CPUState is the architectural register state of one (virtual or
+// physical) processor. It is a plain value so VM-exit handling can copy
+// the subset selected by a message transfer descriptor.
+type CPUState struct {
+	GPR    [8]uint32
+	EIP    uint32
+	EFLAGS uint32
+
+	Seg  [6]Segment
+	GDTR DescTable
+	IDTR DescTable
+
+	CR0, CR2, CR3, CR4 uint32
+
+	TSC uint64
+
+	Halted bool
+	// IntShadow blocks interrupt delivery for one instruction after STI
+	// or MOV SS, as on hardware.
+	IntShadow bool
+}
+
+// Reset puts the CPU into the post-RESET real-mode state with execution
+// starting at the conventional boot vector used by our virtual BIOS.
+func (c *CPUState) Reset() {
+	*c = CPUState{}
+	c.EFLAGS = FlagsFixed
+	for i := range c.Seg {
+		c.Seg[i] = Segment{Limit: 0xffff}
+	}
+	c.EIP = 0x7c00 // boot sector entry, loaded by the BIOS
+}
+
+// ProtectedMode reports whether CR0.PE is set.
+func (c *CPUState) ProtectedMode() bool { return c.CR0&CR0PE != 0 }
+
+// PagingEnabled reports whether CR0.PG is set.
+func (c *CPUState) PagingEnabled() bool { return c.CR0&CR0PG != 0 }
+
+// IF reports whether interrupts are enabled.
+func (c *CPUState) IF() bool { return c.EFLAGS&FlagIF != 0 }
+
+// GetFlag returns one EFLAGS bit as a bool.
+func (c *CPUState) GetFlag(f uint32) bool { return c.EFLAGS&f != 0 }
+
+// SetFlag sets or clears one EFLAGS bit.
+func (c *CPUState) SetFlag(f uint32, v bool) {
+	if v {
+		c.EFLAGS |= f
+	} else {
+		c.EFLAGS &^= f
+	}
+}
+
+// Reg8 reads an 8-bit register by its encoding (AL CL DL BL AH CH DH BH).
+func (c *CPUState) Reg8(r int) uint8 {
+	if r < 4 {
+		return uint8(c.GPR[r])
+	}
+	return uint8(c.GPR[r-4] >> 8)
+}
+
+// SetReg8 writes an 8-bit register by its encoding.
+func (c *CPUState) SetReg8(r int, v uint8) {
+	if r < 4 {
+		c.GPR[r] = c.GPR[r]&^0xff | uint32(v)
+	} else {
+		c.GPR[r-4] = c.GPR[r-4]&^0xff00 | uint32(v)<<8
+	}
+}
+
+// Reg reads a register with the given operand size (1, 2 or 4 bytes).
+func (c *CPUState) Reg(r, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(c.Reg8(r))
+	case 2:
+		return c.GPR[r] & 0xffff
+	default:
+		return c.GPR[r]
+	}
+}
+
+// SetReg writes a register with the given operand size; 16-bit writes
+// preserve the upper half, as on hardware.
+func (c *CPUState) SetReg(r, size int, v uint32) {
+	switch size {
+	case 1:
+		c.SetReg8(r, uint8(v))
+	case 2:
+		c.GPR[r] = c.GPR[r]&^0xffff | v&0xffff
+	default:
+		c.GPR[r] = v
+	}
+}
+
+var regNames = [8]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var segNames = [6]string{"es", "cs", "ss", "ds", "fs", "gs"}
+
+// RegName returns the name of a 32-bit register.
+func RegName(r int) string { return regNames[r] }
+
+// SegName returns the name of a segment register.
+func SegName(s int) string { return segNames[s] }
+
+func (c *CPUState) String() string {
+	return fmt.Sprintf("eip=%08x eax=%08x ecx=%08x edx=%08x ebx=%08x esp=%08x ebp=%08x esi=%08x edi=%08x efl=%08x cr0=%08x cr3=%08x cs=%04x",
+		c.EIP, c.GPR[EAX], c.GPR[ECX], c.GPR[EDX], c.GPR[EBX], c.GPR[ESP], c.GPR[EBP], c.GPR[ESI], c.GPR[EDI], c.EFLAGS, c.CR0, c.CR3, c.Seg[CS].Sel)
+}
+
+// Exception is a guest-visible CPU exception.
+type Exception struct {
+	Vector  int
+	Code    uint32 // error code; meaningful only if HasCode
+	HasCode bool
+	CR2     uint32 // faulting address for #PF
+}
+
+func (e *Exception) Error() string {
+	if e.Vector == VecPF {
+		return fmt.Sprintf("x86: #PF code=%#x cr2=%#x", e.Code, e.CR2)
+	}
+	return fmt.Sprintf("x86: exception %d code=%#x", e.Vector, e.Code)
+}
+
+// PageFault builds a #PF exception. The error code encodes
+// present/write/user as on hardware.
+func PageFault(addr uint32, present, write, user bool) *Exception {
+	var code uint32
+	if present {
+		code |= 1
+	}
+	if write {
+		code |= 2
+	}
+	if user {
+		code |= 4
+	}
+	return &Exception{Vector: VecPF, Code: code, HasCode: true, CR2: addr}
+}
+
+// GPFault builds a #GP exception.
+func GPFault(code uint32) *Exception {
+	return &Exception{Vector: VecGP, Code: code, HasCode: true}
+}
+
+// UDFault builds a #UD exception.
+func UDFault() *Exception { return &Exception{Vector: VecUD} }
