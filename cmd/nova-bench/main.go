@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"nova/internal/bench"
 	"nova/internal/tcb"
+	"nova/internal/walltime"
 )
 
 func main() {
@@ -38,13 +38,15 @@ func main() {
 		if *experiment != "all" && *experiment != name {
 			return
 		}
-		start := time.Now()
+		// Host-side progress timing only; simulated results are in
+		// virtual cycles (see internal/walltime's package comment).
+		sw := walltime.Start()
 		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Printf("(%s finished in %.1fs)\n\n", name, sw.Seconds())
 	}
 
 	run("fig1", func() error {

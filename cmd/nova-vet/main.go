@@ -1,0 +1,122 @@
+// Command nova-vet runs the NOVA invariant analyzers over the
+// repository and fails on any finding that is not in the checked-in
+// baseline. Usage:
+//
+//	nova-vet ./...               # the CI / pre-commit gate
+//	nova-vet -list               # describe the analyzers
+//	nova-vet -write-baseline ./... # regenerate nova-vet.baseline
+//
+// The analyzers (internal/analysis) enforce what the compiler cannot:
+// determinism of the cycle-accounted simulation, the hypercall
+// capability-validation discipline, cycle accounting on mutating entry
+// points, and panic-freedom of shared kernel/device paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nova/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	verbose := flag.Bool("v", false, "also print baseline-suppressed findings")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to accept all current findings")
+	baselinePath := flag.String("baseline", "", "baseline file (default <repo root>/"+analysis.BaselineFile+")")
+	flag.Parse()
+
+	if *list {
+		for _, e := range analysis.DefaultSuite() {
+			scope := "all packages"
+			if e.Paths != nil {
+				scope = fmt.Sprint(e.Paths)
+			}
+			fmt.Printf("%-12s %s\n%14s scope: %s\n", e.Analyzer.Name, e.Analyzer.Doc, "", scope)
+		}
+		return
+	}
+
+	root, err := findRepoRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	// Arguments are accepted for familiarity ("./..."), but the suite's
+	// per-analyzer package policy decides what each check covers; any
+	// argument other than the full tree is rejected rather than
+	// silently narrowing the gate.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fatal(fmt.Errorf("nova-vet checks the whole repository; run it as: nova-vet ./... (got %q)", arg))
+		}
+	}
+
+	diags, err := analysis.RunSuite(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	bp := *baselinePath
+	if bp == "" {
+		bp = filepath.Join(root, analysis.BaselineFile)
+	}
+
+	if *writeBaseline {
+		if err := os.WriteFile(bp, []byte(analysis.FormatBaseline(root, diags)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nova-vet: wrote %d finding(s) to %s\n", len(diags), bp)
+		return
+	}
+
+	baseline, err := analysis.LoadBaseline(bp)
+	if err != nil {
+		fatal(err)
+	}
+	kept, suppressed, stale := analysis.ApplyBaseline(root, diags, baseline)
+
+	if *verbose && suppressed > 0 {
+		fmt.Printf("nova-vet: %d finding(s) suppressed by %s\n", suppressed, bp)
+	}
+	for _, key := range stale {
+		fmt.Fprintf(os.Stderr, "nova-vet: stale baseline entry (finding fixed — delete the line): %s\n", key)
+	}
+	if len(kept) > 0 {
+		for _, d := range kept {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
+		fmt.Fprintf(os.Stderr, "nova-vet: %d new finding(s); fix them or (exceptionally) baseline with -write-baseline\n", len(kept))
+		os.Exit(1)
+	}
+	fmt.Printf("nova-vet: ok (%d analyzer(s), %d baselined)\n", len(analysis.DefaultSuite()), suppressed)
+}
+
+// findRepoRoot walks up from the working directory to the module root.
+func findRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("nova-vet: no go.mod above %s (run from inside the repository)", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

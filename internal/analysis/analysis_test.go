@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the repository root (the directory with go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoInvariants is the tier-1 gate: the whole repository must pass
+// every analyzer of the default suite, modulo the checked-in baseline.
+// This is the test that keeps the invariants intact forever — a new
+// finding fails `go test ./...`, not just the optional nova-vet run.
+func TestRepoInvariants(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := RunSuite(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseline(filepath.Join(root, BaselineFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed, stale := ApplyBaseline(root, diags, baseline)
+	t.Logf("%d finding(s) total, %d baselined", len(diags), suppressed)
+	for _, key := range stale {
+		t.Logf("stale baseline entry (finding fixed — delete the line): %s", key)
+	}
+	for _, d := range kept {
+		t.Errorf("new invariant violation: %s", d)
+	}
+}
+
+// TestLoaderCoversRepo sanity-checks the source loader: every package
+// the analyzers depend on must load and type-check.
+func TestLoaderCoversRepo(t *testing.T) {
+	prog, err := LoadRepo(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range append(append([]string{}, SimCriticalPackages...), EntryPointPackages...) {
+		if prog.Package(path) == nil {
+			t.Errorf("suite package %s not loaded", path)
+		}
+	}
+	if len(prog.Pkgs) < 15 {
+		t.Errorf("suspiciously few packages loaded: %d", len(prog.Pkgs))
+	}
+}
+
+var wantRe = regexp.MustCompile(`want "([^"]*)"`)
+
+// expectation is one `// want "substring"` comment in a fixture.
+type expectation struct {
+	file string // base name
+	line int
+	want string
+}
+
+// fixtureExpectations scans a loaded fixture package for want comments.
+func fixtureExpectations(prog *Program, pkg *Package) []expectation {
+	var exps []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				exps = append(exps, expectation{filepath.Base(pos.Filename), pos.Line, m[1]})
+			}
+		}
+	}
+	return exps
+}
+
+// TestAnalyzersOnFixtures runs each analyzer over its testdata fixture
+// package and requires an exact match between reported diagnostics and
+// the `// want "..."` comments: every seeded violation is caught, and
+// nothing else is flagged.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	root := repoRoot(t)
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{Determinism, "determinism"},
+		{Capcheck, "capcheck"},
+		{Chargecheck, "chargecheck"},
+		{Nopanic, "nopanic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", tc.dir)
+			prog, err := LoadDirs(root, []string{dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg := prog.Pkgs[0]
+			diags := tc.analyzer.Run(prog, []*Package{pkg})
+			exps := fixtureExpectations(prog, pkg)
+			if len(exps) == 0 {
+				t.Fatalf("fixture %s has no want comments", tc.dir)
+			}
+
+			matched := make([]bool, len(diags))
+			for _, exp := range exps {
+				found := false
+				for i, d := range diags {
+					if matched[i] {
+						continue
+					}
+					if filepath.Base(d.Pos.Filename) == exp.file && d.Pos.Line == exp.line && strings.Contains(d.Message, exp.want) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("expected diagnostic at %s:%d containing %q, got none", exp.file, exp.line, exp.want)
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestBaselineRoundTrip checks the baseline format: findings written
+// with FormatBaseline are accepted back by LoadBaseline and suppress
+// exactly themselves.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", "nopanic")
+	prog, err := LoadDirs(root, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Nopanic.Run(prog, []*Package{prog.Pkgs[0]})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline")
+	if err := os.WriteFile(path, []byte(FormatBaseline(root, diags)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed, stale := ApplyBaseline(root, diags, baseline)
+	if len(kept) != 0 || suppressed != len(diags) || len(stale) != 0 {
+		t.Errorf("round trip: kept=%d suppressed=%d stale=%d, want 0/%d/0", len(kept), suppressed, len(stale), len(diags))
+	}
+
+	// A baseline for a different finding is stale and suppresses nothing.
+	other := map[string]bool{"nopanic\tno/such/file.go\tmessage": true}
+	kept, suppressed, stale = ApplyBaseline(root, diags, other)
+	if len(kept) != len(diags) || suppressed != 0 || len(stale) != 1 {
+		t.Errorf("stale baseline: kept=%d suppressed=%d stale=%d, want %d/0/1", len(kept), suppressed, len(stale), len(diags))
+	}
+}
+
+// TestLoadBaselineMalformed rejects lines that are not three tab-
+// separated fields, so a corrupted baseline fails loudly instead of
+// silently suppressing everything or nothing.
+func TestLoadBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline")
+	if err := os.WriteFile(path, []byte("# comment ok\nnot a valid line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	missing, err := LoadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("missing baseline should be empty, got %v, %v", missing, err)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineFile is the checked-in suppression list at the repository
+// root. Each line is one pre-existing finding the builder chose not to
+// fix when its analyzer was introduced:
+//
+//	analyzer<TAB>relative/file.go<TAB>message
+//
+// Line numbers are deliberately omitted so unrelated edits above a
+// finding do not invalidate the entry. The file is a ratchet: nova-vet
+// warns about stale entries (fixed findings) so they get deleted, and
+// new findings are never added here without review — fix them instead.
+const BaselineFile = "nova-vet.baseline"
+
+// BaselineKey renders the stable identity of a diagnostic used for
+// baseline matching. Paths are made relative to root and slash-
+// normalized so baselines are portable across checkouts.
+func BaselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return d.Analyzer + "\t" + file + "\t" + d.Message
+}
+
+// LoadBaseline reads a baseline file into a key set. A missing file is
+// an empty baseline, not an error.
+func LoadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	keys := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("analysis: malformed baseline line (want analyzer<TAB>file<TAB>message): %q", line)
+		}
+		keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// ApplyBaseline splits diagnostics into kept (new findings) and
+// suppressed, and reports baseline entries that matched nothing (stale
+// — the finding was fixed and the entry should be deleted).
+func ApplyBaseline(root string, ds []Diagnostic, baseline map[string]bool) (kept []Diagnostic, suppressed int, stale []string) {
+	used := make(map[string]bool)
+	for _, d := range ds {
+		key := BaselineKey(root, d)
+		if baseline[key] {
+			used[key] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for key := range baseline {
+		if !used[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return kept, suppressed, stale
+}
+
+// FormatBaseline renders diagnostics as baseline file content (sorted,
+// deduplicated, with an explanatory header).
+func FormatBaseline(root string, ds []Diagnostic) string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, d := range ds {
+		k := BaselineKey(root, d)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# nova-vet baseline: pre-existing findings accepted when an analyzer was\n")
+	b.WriteString("# introduced. Format: analyzer<TAB>file<TAB>message (no line numbers, so\n")
+	b.WriteString("# unrelated edits don't invalidate entries). This file only shrinks:\n")
+	b.WriteString("# fix a finding, delete its line. Regenerate with: nova-vet -write-baseline ./...\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Capcheck enforces the hypercall discipline of §6: the kernel trusts
+// nothing a user domain hands it. Concretely, every exported hypercall
+// method on Kernel — an exported method whose first parameter is the
+// calling protection domain (*PD) and whose results include an error —
+// must:
+//
+//  1. begin with the syscallEnter guard (`if err :=
+//     k.syscallEnter(caller); err != nil { return ... }`), which both
+//     charges the user→kernel transition and rejects VM domains, and
+//  2. never discard the error of a capability-space validation
+//     (Lookup/LookupTyped/Insert/Delegate/Revoke): a discarded lookup
+//     error means an object is dereferenced without the selector having
+//     been validated against the caller's capability space.
+//
+// Methods without an error result (e.g. the async semaphore fast path,
+// which charges inline and cannot propagate) are outside the rule.
+var Capcheck = &Analyzer{
+	Name: "capcheck",
+	Doc:  "hypercalls must guard with syscallEnter and never discard capability validation errors",
+	run:  runCapcheck,
+}
+
+// capSpaceOps are the capability/resource-space operations whose error
+// results constitute selector validation.
+var capSpaceOps = map[string]bool{
+	"Lookup": true, "LookupTyped": true, "Insert": true,
+	"Delegate": true, "Revoke": true,
+}
+
+func runCapcheck(pass *Pass) {
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !isHypercallMethod(pkg, fd) {
+					continue
+				}
+				if !startsWithSyscallEnterGuard(fd) {
+					pass.Reportf(fd.Pos(), "hypercall %s.%s does not begin with the syscallEnter(caller) guard", recvTypeName(fd), fd.Name.Name)
+				}
+				checkDiscardedValidation(pass, pkg, fd)
+			}
+		}
+	}
+}
+
+// isHypercallMethod reports whether fd is an exported method on a type
+// named Kernel whose first parameter is *PD and whose results include
+// an error — the shape of the CreatePD/DelegateCap/Recall family.
+func isHypercallMethod(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || !fd.Name.IsExported() || recvTypeName(fd) != "Kernel" {
+		return false
+	}
+	if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return false
+	}
+	first := fd.Type.Params.List[0].Type
+	star, ok := first.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	id, ok := star.X.(*ast.Ident)
+	if !ok || id.Name != "PD" {
+		return false
+	}
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if tv, ok := pkg.Info.Types[r.Type]; ok && isErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the name of a method's receiver type.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// startsWithSyscallEnterGuard reports whether the method's first
+// statement is `if err := recv.syscallEnter(caller); err != nil {...}`
+// (with caller being the method's first parameter).
+func startsWithSyscallEnterGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init == nil {
+		return false
+	}
+	asg, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "syscallEnter" {
+		return false
+	}
+	// The guard must pass the hypercall's caller, not some other PD.
+	callerName := firstParamName(fd)
+	if callerName == "" || len(call.Args) != 1 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == callerName
+}
+
+func firstParamName(fd *ast.FuncDecl) string {
+	p := fd.Type.Params.List[0]
+	if len(p.Names) == 0 {
+		return ""
+	}
+	return p.Names[0].Name
+}
+
+// checkDiscardedValidation flags capability-space operations whose
+// error result is dropped on the floor inside a hypercall body.
+func checkDiscardedValidation(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !capSpaceOps[sel.Sel.Name] {
+			return true
+		}
+		callee, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorType(sig.Results().At(i).Type()) {
+				pass.Reportf(call.Pos(), "hypercall %s.%s discards the error of capability validation %s (selector must be validated before object use)", recvTypeName(fd), fd.Name.Name, sel.Sel.Name)
+				break
+			}
+		}
+		return true
+	})
+}

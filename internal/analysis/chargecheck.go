@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Chargecheck enforces cycle accounting: an exported kernel or
+// device-model entry point that mutates simulated platform state must
+// charge virtual time for the work, or the benchmarks silently measure
+// a hot path as free. The check is a reachability heuristic over the
+// whole program's static call graph:
+//
+//   - charge sinks are (*hw.Clock).Charge and Kernel.charge /
+//     Kernel.ChargeUser (matched by receiver-type and method name, so
+//     fixture packages can model them);
+//   - an entry point is an exported pointer-receiver method in a target
+//     package whose body mutates state — assigns through the receiver,
+//     deletes from a receiver-reachable map, or calls a known platform
+//     mutator (PortWrite, MMIOWrite, WriteBytes, RaiseIRQ, ...);
+//   - the entry point is OK if any statically resolvable call chain
+//     from it reaches a charge sink.
+//
+// Setup-time entry points that intentionally do unaccounted work (VM
+// construction, test plumbing) carry a `// nocharge: <reason>` comment
+// on the line directly above the declaration.
+var Chargecheck = &Analyzer{
+	Name: "chargecheck",
+	Doc:  "exported mutating entry points must charge cycles via the cost model",
+	run:  runChargecheck,
+}
+
+// platformMutators are method names that write simulated hardware state
+// regardless of which object they are invoked on.
+var platformMutators = map[string]bool{
+	"PortWrite": true, "MMIOWrite": true, "WriteBytes": true,
+	"Write8": true, "Write16": true, "Write32": true,
+	"RaiseIRQ": true, "LowerIRQ": true,
+}
+
+func runChargecheck(pass *Pass) {
+	cg := buildCallGraph(pass.Prog)
+	reach := cg.reachesCharge()
+
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if isChargeSink(fn) {
+					continue // ChargeUser itself is the accounting API
+				}
+				if hasNochargeComment(pass.Prog, pkg, fd) {
+					continue
+				}
+				if !mutatesState(pkg, fd) {
+					continue
+				}
+				if !reach[fn] {
+					pass.Reportf(fd.Pos(), "exported entry point %s.%s mutates simulated state but no call path reaches Clock.Charge/Kernel.charge (cycle-accounting gap)", recvTypeName(fd), fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// callGraph maps each function to its statically resolvable callees.
+type callGraph struct {
+	edges map[*types.Func][]*types.Func
+}
+
+// buildCallGraph collects static call edges for every function body in
+// the program. Calls through function values or interfaces are not
+// resolved — the analysis is a heuristic, and the escape hatch for a
+// genuinely dynamic charge path is the nocharge annotation.
+func buildCallGraph(prog *Program) *callGraph {
+	cg := &callGraph{edges: make(map[*types.Func][]*types.Func)}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var id *ast.Ident
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					if callee, ok := pkg.Info.Uses[id].(*types.Func); ok {
+						cg.edges[caller] = append(cg.edges[caller], callee)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return cg
+}
+
+// isChargeSink reports whether fn is one of the cycle-accounting
+// primitives: Clock.Charge, or Kernel.charge/ChargeUser.
+func isChargeSink(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Clock":
+		return fn.Name() == "Charge"
+	case "Kernel":
+		return fn.Name() == "charge" || fn.Name() == "ChargeUser"
+	}
+	return false
+}
+
+// reachesCharge computes, by fixpoint over the call graph, the set of
+// functions from which a charge sink is statically reachable.
+func (cg *callGraph) reachesCharge() map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	for caller, callees := range cg.edges {
+		for _, c := range callees {
+			if isChargeSink(c) {
+				reach[caller] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range cg.edges {
+			if reach[caller] {
+				continue
+			}
+			for _, c := range callees {
+				if reach[c] {
+					reach[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// mutatesState reports whether the method body writes simulated state:
+// an assignment or ++/-- rooted at the receiver, a delete() builtin, or
+// a call to a known platform mutator.
+func mutatesState(pkg *Package, fd *ast.FuncDecl) bool {
+	recvObj := receiverVar(pkg, fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootIsVar(pkg, lhs, recvObj) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootIsVar(pkg, n.X, recvObj) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "delete" {
+					if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if platformMutators[fun.Sel.Name] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverVar returns the receiver's *types.Var, or nil for an unnamed
+// receiver.
+func receiverVar(pkg *Package, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// rootIsVar unwraps selector/index/star/paren chains and reports
+// whether the base identifier resolves to v.
+func rootIsVar(pkg *Package, e ast.Expr, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return pkg.Info.Uses[x] == v
+		default:
+			return false
+		}
+	}
+}
+
+// hasNochargeComment reports whether a `// nocharge:` annotation
+// directly precedes the declaration (doc comment or detached comment
+// ending on the line above).
+func hasNochargeComment(prog *Program, pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "nocharge:") {
+		return true
+	}
+	declLine := prog.Fset.Position(fd.Pos()).Line
+	file := prog.Fset.Position(fd.Pos()).Filename
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			end := prog.Fset.Position(cg.End())
+			if end.Filename == file && end.Line == declLine-1 && strings.Contains(cg.Text(), "nocharge:") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism in
+// simulation-critical code. The whole reproduction depends on virtual
+// time being a pure function of the inputs (same platform + same guest
+// image → identical cycle counts, the property timing-accurate
+// simulators require), so sim packages must not:
+//
+//   - read the wall clock (time.Now, time.Since, ...): virtual time
+//     comes from hw.Clock only;
+//   - draw from math/rand's global source: it is seeded differently
+//     across processes, and even a fixed seed hides an ordering
+//     dependence (explicit rand.New(rand.NewSource(n)) is allowed);
+//   - iterate a map with for-range: Go randomizes map iteration order
+//     per run, so any state mutation or cycle charge inside the loop
+//     body becomes order-dependent.
+//
+// Which packages are "simulation-critical" is the caller's policy (see
+// DefaultSuite); the analyzer checks whatever packages it is given.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and map iteration in sim-critical packages",
+	run:  runDeterminism,
+}
+
+// wallClockFuncs are the time-package functions that observe or depend
+// on host wall-clock time. Pure value constructors (time.Duration
+// arithmetic, time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the process-global, possibly auto-seeded source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func runDeterminism(pass *Pass) {
+	pass.inspect(func(pkg *Package, _ *ast.File, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := pkg.Info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on an explicitly
+			// constructed rand.Rand (seeded by the caller) are fine.
+			if fn, ok := obj.(*types.Func); !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(), "wall-clock use time.%s in sim-critical package %s (virtual time must come from hw.Clock)", obj.Name(), pkg.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(), "global math/rand source rand.%s in sim-critical package %s (use an explicitly seeded rand.New)", obj.Name(), pkg.Path)
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(), "for-range over map type %s in sim-critical package %s (iteration order is randomized; iterate a sorted slice)", tv.Type, pkg.Path)
+			}
+		}
+		return true
+	})
+}

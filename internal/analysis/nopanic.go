@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nopanic forbids panic() in the kernel, IPC, vTLB and device paths.
+// NOVA's isolation argument (§4.2) requires that a misbehaving guest or
+// VMM takes down only itself; in this reproduction a panic in a shared
+// path (kernel object code, device models, the instruction emulator)
+// tears down the whole simulated machine — every VM at once. Failures
+// must instead surface as error returns the kernel converts into
+// killVM, charging only the offending domain.
+//
+// A panic is permitted only where it asserts a genuine internal
+// invariant whose violation means the simulation itself is broken (not
+// reachable from guest or user input), and the call site must say so: a
+// `// invariant: <why this cannot fire from guest input>` comment on
+// the panic's line or the line(s) directly above it.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic() in kernel/IPC/vTLB/device paths unless justified by an // invariant: comment",
+	run:  runNopanic,
+}
+
+func runNopanic(pass *Pass) {
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			covered := invariantLines(pass.Prog, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true // a local function shadowing the builtin
+				}
+				line := pass.Prog.Fset.Position(call.Pos()).Line
+				if covered[line] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic() in kernel/device path of %s without an // invariant: justification (return an error; the kernel isolates the failing domain)", pkg.Path)
+				return true
+			})
+		}
+	}
+}
+
+// invariantLines returns the set of source lines on which a panic is
+// justified: every line of a comment group containing "invariant:",
+// plus the line immediately after it (the common comment-above-panic
+// form) — trailing same-line comments are covered by the former.
+func invariantLines(prog *Program, f *ast.File) map[int]bool {
+	covered := make(map[int]bool)
+	for _, cg := range f.Comments {
+		if !strings.Contains(cg.Text(), "invariant:") {
+			continue
+		}
+		start := prog.Fset.Position(cg.Pos()).Line
+		end := prog.Fset.Position(cg.End()).Line
+		for l := start; l <= end+1; l++ {
+			covered[l] = true
+		}
+	}
+	return covered
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimCriticalPackages are the packages whose execution produces the
+// simulation's observable results (cycle counts, exit traces, benchmark
+// figures). Determinism and panic-freedom are enforced here; packages
+// outside this set (benchmark drivers, CLI tools, the guest assembler
+// toolchain's build helpers) may use wall-clock time for reporting.
+var SimCriticalPackages = []string{
+	ModulePath + "/internal/hypervisor",
+	ModulePath + "/internal/hw",
+	ModulePath + "/internal/vmm",
+	ModulePath + "/internal/x86",
+	ModulePath + "/internal/cap",
+}
+
+// EntryPointPackages hold the kernel and device-model entry points that
+// must charge cycles for the work they model.
+var EntryPointPackages = []string{
+	ModulePath + "/internal/hypervisor",
+	ModulePath + "/internal/vmm",
+}
+
+// SuiteEntry pairs an analyzer with the import paths it applies to on
+// repository runs. A nil Paths means every package in the program.
+type SuiteEntry struct {
+	Analyzer *Analyzer
+	Paths    []string
+}
+
+// DefaultSuite is the invariant gate cmd/nova-vet and the repo-wide
+// test both run. Order is stable and alphabetical by analyzer name.
+func DefaultSuite() []SuiteEntry {
+	return []SuiteEntry{
+		{Capcheck, nil}, // self-limiting: only fires on hypercall-shaped Kernel methods
+		{Chargecheck, EntryPointPackages},
+		{Determinism, SimCriticalPackages},
+		{Nopanic, SimCriticalPackages},
+	}
+}
+
+// RunSuite loads the repository rooted at root and runs every suite
+// entry, returning the combined diagnostics (unfiltered by baseline).
+func RunSuite(root string) ([]Diagnostic, error) {
+	prog, err := LoadRepo(root)
+	if err != nil {
+		return nil, err
+	}
+	return RunSuiteOn(prog)
+}
+
+// RunSuiteOn runs the default suite over an already-loaded program.
+func RunSuiteOn(prog *Program) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, e := range DefaultSuite() {
+		targets, err := selectTargets(prog, e.Paths)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, e.Analyzer.Run(prog, targets)...)
+	}
+	return all, nil
+}
+
+func selectTargets(prog *Program, paths []string) ([]*Package, error) {
+	if paths == nil {
+		return prog.Pkgs, nil
+	}
+	var targets []*Package
+	var missing []string
+	for _, p := range paths {
+		if pkg := prog.Package(p); pkg != nil {
+			targets = append(targets, pkg)
+		} else {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		// A policy package disappearing silently would disable the
+		// check; fail loudly so renames update the suite.
+		return nil, fmt.Errorf("analysis: suite packages not found in program: %s", strings.Join(missing, ", "))
+	}
+	return targets, nil
+}

@@ -1,0 +1,90 @@
+// Package fixture seeds capcheck violations: a miniature Kernel with
+// hypercall-shaped methods that do and don't follow the §6 discipline.
+package fixture
+
+import "errors"
+
+// Selector names a capability slot.
+type Selector uint32
+
+// Space is a miniature capability space.
+type Space struct{ n int }
+
+// Lookup validates a selector.
+func (s *Space) Lookup(sel Selector) (int, error) {
+	if int(sel) >= s.n {
+		return 0, errors.New("no capability")
+	}
+	return int(sel), nil
+}
+
+// Insert installs a capability.
+func (s *Space) Insert(sel Selector, obj int) error {
+	if int(sel) < s.n {
+		return errors.New("occupied")
+	}
+	return nil
+}
+
+// PD is a protection domain.
+type PD struct {
+	IsVM bool
+	Caps *Space
+}
+
+// Kernel is the hypercall surface under test.
+type Kernel struct{ hypercalls uint64 }
+
+func (k *Kernel) syscallEnter(caller *PD) error {
+	if caller.IsVM {
+		return errors.New("VMs cannot perform hypercalls")
+	}
+	k.hypercalls++
+	return nil
+}
+
+// GoodCreate follows the discipline: guard first, validation checked.
+func (k *Kernel) GoodCreate(caller *PD, sel Selector) (int, error) {
+	if err := k.syscallEnter(caller); err != nil {
+		return 0, err
+	}
+	if err := caller.Caps.Insert(sel, 1); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// BadNoGuard never charges the transition nor rejects VM callers.
+func (k *Kernel) BadNoGuard(caller *PD, sel Selector) error { // want "does not begin with the syscallEnter"
+	_, err := caller.Caps.Lookup(sel)
+	return err
+}
+
+// BadGuardNotFirst mutates kernel state before the guard runs.
+func (k *Kernel) BadGuardNotFirst(caller *PD, sel Selector) error { // want "does not begin with the syscallEnter"
+	k.hypercalls++
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BadDiscard guards correctly but drops a validation error, using the
+// selector as if it had been validated.
+func (k *Kernel) BadDiscard(caller *PD, sel Selector) error {
+	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	caller.Caps.Insert(sel, 1) // want "discards the error of capability validation Insert"
+	return nil
+}
+
+// NoErrorResult is outside the rule: without an error result it cannot
+// propagate validation failures (the async-semaphore fast-path shape).
+func (k *Kernel) NoErrorResult(caller *PD) bool {
+	k.hypercalls++
+	return true
+}
+
+// helperNotExported is unexported and therefore not a hypercall.
+func (k *Kernel) helperNotExported(caller *PD) error { return nil }

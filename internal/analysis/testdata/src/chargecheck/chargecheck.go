@@ -1,0 +1,55 @@
+// Package fixture seeds chargecheck violations: device-model entry
+// points that mutate simulated state with and without cycle accounting.
+package fixture
+
+// Cycles is virtual time.
+type Cycles uint64
+
+// Clock mirrors hw.Clock: the analyzer recognizes (*Clock).Charge as a
+// charge sink by receiver-type and method name.
+type Clock struct{ now Cycles }
+
+// Charge advances virtual time by n cycles of work.
+func (c *Clock) Charge(n Cycles) { c.now += n }
+
+// Device is a device model with a cycle clock.
+type Device struct {
+	clk   *Clock
+	state uint32
+	regs  map[uint32]uint32
+}
+
+// GoodWrite mutates device state and charges for the update.
+func (d *Device) GoodWrite(reg, val uint32) {
+	d.state = val
+	d.clk.Charge(350)
+}
+
+// GoodWriteTransitive charges through a helper call chain.
+func (d *Device) GoodWriteTransitive(reg, val uint32) {
+	d.state = val
+	d.account()
+}
+
+func (d *Device) account() { d.clk.Charge(350) }
+
+// BadWrite mutates device state for free.
+func (d *Device) BadWrite(reg, val uint32) { // want "mutates simulated state but no call path reaches"
+	d.state = val
+}
+
+// BadDelete drops state for free through the delete builtin.
+func (d *Device) BadDelete(reg uint32) { // want "mutates simulated state but no call path reaches"
+	delete(d.regs, reg)
+}
+
+// nocharge: reset is boot-time construction, outside measured windows.
+func (d *Device) AnnotatedReset() {
+	d.state = 0
+}
+
+// ReadOnly observes without mutating; no charge required.
+func (d *Device) ReadOnly() uint32 { return d.state }
+
+// internalWrite is unexported: not an entry point, callers account.
+func (d *Device) internalWrite(v uint32) { d.state = v }

@@ -1,0 +1,53 @@
+// Package fixture seeds determinism violations for the analyzer tests.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cycles stands in for hw.Cycles.
+type Cycles uint64
+
+// BadWallClock reads the host clock inside sim-critical code.
+func BadWallClock() int64 {
+	t := time.Now() // want "wall-clock use time.Now"
+	return t.UnixNano()
+}
+
+// BadSince derives a duration from the wall clock.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock use time.Since"
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand(n int) int {
+	return rand.Intn(n) // want "global math/rand source rand.Intn"
+}
+
+// BadMapRange iterates a map, whose order Go randomizes per run.
+func BadMapRange(m map[int]Cycles) Cycles {
+	var sum Cycles
+	for _, v := range m { // want "for-range over map type"
+		sum += v
+	}
+	return sum
+}
+
+// GoodDurationMath uses time only for pure value arithmetic.
+func GoodDurationMath(d time.Duration) time.Duration { return 2 * d }
+
+// GoodSeededRand builds an explicitly seeded private source.
+func GoodSeededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// GoodSliceRange iterates a slice: deterministic order.
+func GoodSliceRange(s []Cycles) Cycles {
+	var sum Cycles
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,41 @@
+// Package fixture seeds nopanic violations: panics with and without an
+// invariant justification.
+package fixture
+
+import "errors"
+
+// ErrBounds is the error-return alternative the analyzer points at.
+var ErrBounds = errors.New("out of bounds")
+
+// BadPanic tears down the whole simulated machine on bad input.
+func BadPanic(n int) {
+	if n < 0 {
+		panic("negative") // want "return an error; the kernel isolates the failing domain"
+	}
+}
+
+// GoodAnnotated asserts a simulator-internal invariant, with the
+// justification directly above the call.
+func GoodAnnotated(idx, size int) {
+	if idx >= size {
+		// invariant: idx comes from the simulator's own allocator, never
+		// from guest input; overflow here means the allocator is broken.
+		panic("allocator handed out an out-of-range index")
+	}
+}
+
+// GoodTrailing justifies on the same line.
+func GoodTrailing(ok bool) {
+	if !ok {
+		panic("unreachable") // invariant: guarded by the type system above
+	}
+}
+
+// GoodErrorReturn is the preferred shape: the kernel isolates the
+// failing domain instead of dying.
+func GoodErrorReturn(n, size int) error {
+	if n >= size {
+		return ErrBounds
+	}
+	return nil
+}

@@ -136,6 +136,10 @@ func (q *EventQueue) Len() int { return len(q.heap) }
 // the queue is empty; check Empty first.
 func (q *EventQueue) NextTime() Cycles {
 	if len(q.heap) == 0 {
+		// invariant: callers must check Empty() first (API contract);
+		// the event queue is driven only by simulator-internal run
+		// loops, so an empty-queue query is a simulator bug, not a
+		// condition any guest or user domain can provoke.
 		panic("hw: NextTime on empty event queue")
 	}
 	return q.heap[0].When

@@ -204,6 +204,9 @@ func ModelByName(m CPUModel) *CostModel {
 			return c
 		}
 	}
+	// invariant: CPUModel values are compile-time constants (Table 1's
+	// enumeration); an unknown model is a configuration bug caught at
+	// platform construction, before any guest executes.
 	panic(fmt.Sprintf("hw: unknown CPU model %v", m))
 }
 

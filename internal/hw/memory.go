@@ -75,6 +75,10 @@ func (m *Memory) IsMMIO(addr PhysAddr) bool {
 
 func (m *Memory) checkRAM(addr PhysAddr, n int) {
 	if uint64(addr)+uint64(n) > uint64(len(m.ram)) {
+		// invariant: guest accesses are bounds-checked during address
+		// translation (vTLB/EPT walk) before they reach physical memory,
+		// so an out-of-range physical access can only come from a bug in
+		// the simulator itself — never from guest or user input.
 		panic(fmt.Sprintf("hw: physical access [%#x,%#x) beyond RAM size %#x", addr, uint64(addr)+uint64(n), len(m.ram)))
 	}
 }

@@ -173,6 +173,9 @@ func NewPlatform(cfg Config) (*Platform, error) {
 func MustNewPlatform(cfg Config) *Platform {
 	p, err := NewPlatform(cfg)
 	if err != nil {
+		// invariant: Must-constructor for statically known-good configs
+		// in tests and examples; runs at setup time, before any guest
+		// code executes. Production callers use NewPlatform.
 		panic(fmt.Sprintf("hw: NewPlatform: %v", err))
 	}
 	return p

@@ -33,6 +33,8 @@ func (h hostPhys) ReadPhys32(pa uint64) (uint32, bool) {
 	return h.mem.Read32(hw.PhysAddr(pa)), true
 }
 
+// nocharge: x86.Phys page-walker callback; the walker charges
+// PageWalkLevel per level and the interpreter charges per instruction.
 func (h hostPhys) WritePhys32(pa uint64, v uint32) bool {
 	if pa+4 > h.mem.Size() {
 		return false

@@ -55,6 +55,8 @@ func (g gpaPhys) ReadPhys32(pa uint64) (uint32, bool) {
 	return g.k.Plat.Mem.Read32(hw.PhysAddr(hpa)), true
 }
 
+// nocharge: x86.Phys page-walker callback; walk steps are charged by
+// the vTLB fill / nested-walk cost accounting, not per memory touch.
 func (g gpaPhys) WritePhys32(pa uint64, v uint32) bool {
 	hpa, w, ok := hostTranslate(g.pd, pa)
 	if !ok || !w {
@@ -88,12 +90,17 @@ func NewShadowPT() *ShadowPT {
 }
 
 // Flush drops all shadow entries (guest CR3 write / CR0 paging change).
+//
+// nocharge: data-structure operation; the vTLB intercept that triggers
+// it (handleVTLBExit) charges the flush cost at the call site.
 func (s *ShadowPT) Flush() {
 	s.Flushes++
 	s.entries = make(map[uint32]shadowEntry)
 }
 
 // Invalidate drops the entry covering va (guest INVLPG).
+//
+// nocharge: charged by the INVLPG intercept path (handleVTLBExit).
 func (s *ShadowPT) Invalidate(va uint32) {
 	delete(s.entries, va>>12)
 }

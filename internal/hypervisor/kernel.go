@@ -98,6 +98,12 @@ type Kernel struct {
 	// preempt is set when a wakeup makes a higher-priority SC runnable
 	// so the inner execution loops return to the scheduler.
 	preempt bool
+
+	// TraceExit, when set, observes every VM exit (reason, guest EIP,
+	// virtual time) in dispatch order. The determinism regression test
+	// hashes this trace: two runs from identical inputs must produce
+	// identical traces, not merely identical aggregate counts.
+	TraceExit func(ec *EC, reason x86.ExitReason, eip uint32, now hw.Cycles)
 }
 
 type gsiRoute struct {
@@ -138,6 +144,9 @@ func New(plat *hw.Platform, cfg Config) *Kernel {
 	}
 	rootPages := int((plat.Mem.Size() - hvReserved) / hw.PageSize)
 	if err := root.Mem.InsertRoot(hvReserved/hw.PageSize, hvReserved/hw.PageSize, rootPages, cap.RightRead|cap.RightWrite|cap.RightExec); err != nil {
+		// invariant: boot-time construction of the root PD over an empty
+		// memory space cannot overlap; a failure here means the platform
+		// geometry itself is broken, before any user domain exists.
 		panic(fmt.Sprintf("hypervisor: root memory: %v", err))
 	}
 	root.IO.InsertRoot(0, 0xffff)
@@ -151,6 +160,8 @@ func New(plat *hw.Platform, cfg Config) *Kernel {
 		{hw.NICMMIOBase, hw.NICMMIOSize},
 	} {
 		if err := root.Mem.InsertRoot(uint32(w.base>>12), uint64(w.base)>>12, int(w.size/hw.PageSize), cap.RightRead|cap.RightWrite); err != nil {
+			// invariant: the MMIO windows are fixed platform constants
+			// disjoint from RAM; still boot time, no user domains yet.
 			panic(fmt.Sprintf("hypervisor: device windows: %v", err))
 		}
 	}
@@ -196,6 +207,9 @@ func (k *Kernel) ChargeUser(n hw.Cycles) { k.charge(n) }
 // controllers of the platform and a scheduling timer"). Each tick that
 // lands while a guest runs costs an external-interrupt VM exit — the
 // "Hardware Interrupts" row of Table 2.
+//
+// nocharge: boot-time configuration, before measured windows open; the
+// recurring cost appears as the per-tick VM exits it provokes.
 func (k *Kernel) StartSchedulingTimer(hz int) {
 	reload := hw.PITInputHz / hz
 	if reload > 0xffff {

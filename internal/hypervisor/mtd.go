@@ -47,18 +47,23 @@ const (
 )
 
 // fieldCounts approximates how many VMCS fields each group comprises.
-var fieldCounts = map[MTD]int{
-	MTDGPR: 8, MTDEIP: 2, MTDEFLAGS: 1, MTDESP: 1, MTDSeg: 12, MTDCR: 4,
-	MTDDT: 4, MTDQual: 2, MTDInj: 2, MTDSTA: 1, MTDTSC: 1,
+// Kept as an ordered slice, not a map: FieldCount runs on every VM exit
+// and sim-critical code must not iterate maps (nova-vet: determinism).
+var fieldCounts = []struct {
+	bit MTD
+	n   int
+}{
+	{MTDGPR, 8}, {MTDEIP, 2}, {MTDEFLAGS, 1}, {MTDESP, 1}, {MTDSeg, 12},
+	{MTDCR, 4}, {MTDDT, 4}, {MTDQual, 2}, {MTDInj, 2}, {MTDSTA, 1}, {MTDTSC, 1},
 }
 
 // FieldCount returns the number of VMCS fields selected by the MTD —
 // the number of VMREAD/VMWRITE operations the transfer costs.
 func (m MTD) FieldCount() int {
 	n := 0
-	for bit, c := range fieldCounts {
-		if m&bit != 0 {
-			n += c
+	for _, fc := range fieldCounts {
+		if m&fc.bit != 0 {
+			n += fc.n
 		}
 	}
 	return n

@@ -28,6 +28,9 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	v := ec.VCPU
 	v.Exits[exit.Reason]++
 	k.Stats.VMExits[exit.Reason]++
+	if k.TraceExit != nil {
+		k.TraceExit(ec, exit.Reason, v.State.EIP, k.Now())
+	}
 	cost := k.Plat.Cost
 
 	// World switch guest -> host (+ the TLB flush if untagged; the
@@ -190,6 +193,9 @@ func (k *Kernel) handleHostInterrupts(guest *EC) {
 		if guest != nil {
 			guest.VCPU.Exits[x86.ExitExternalInterrupt]++
 			k.Stats.VMExits[x86.ExitExternalInterrupt]++
+			if k.TraceExit != nil {
+				k.TraceExit(guest, x86.ExitExternalInterrupt, guest.VCPU.State.EIP, k.Now())
+			}
 			k.charge(cost.VMTransitCost(k.tagged()))
 			guest.VCPU.Env.FlushOnWorldSwitch()
 		}

@@ -123,6 +123,9 @@ func (m *VMM) mmioWrite(gpa uint64, size int, val uint32) bool {
 // InjectKey delivers a keystroke to the guest: the scancode appears at
 // the virtual keyboard controller (raising IRQ 1) and the
 // scancode/ASCII pair is queued for the BIOS INT 16h services.
+//
+// nocharge: models an external input event (a human keypress), which
+// costs the machine nothing until the guest services the interrupt.
 func (m *VMM) InjectKey(scancode, ascii byte) {
 	m.vKBD.Inject(scancode)
 	m.biosKeys = append(m.biosKeys, uint16(scancode)<<8|uint16(ascii))

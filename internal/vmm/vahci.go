@@ -210,6 +210,9 @@ func (a *VAHCI) completeLocal(slot int) {
 
 // Complete finishes a forwarded command when its completion record
 // arrives (Figure 4, steps 7-8).
+//
+// nocharge: the completion EC (handleDiskCompletions) charges one
+// DeviceModelUpdate per doorbell batch before draining records.
 func (a *VAHCI) Complete(slot int, ok bool) {
 	bit := uint32(1) << uint(slot)
 	a.ci &^= bit

@@ -184,7 +184,11 @@ func New(k *hypervisor.Kernel, cfg Config) (*VMM, error) {
 		m.diskClientID = id
 		// The disk server delegates the channel portal to the VMM.
 		m.diskPortalSel = pd.Caps.AllocSel()
-		if err := k.DelegateCap(cfg.DiskServer.PD, findSel(cfg.DiskServer.PD, pt), pd, m.diskPortalSel, cap.RightCall); err != nil {
+		ptSel, err := findSel(cfg.DiskServer.PD, pt)
+		if err != nil {
+			return nil, err
+		}
+		if err := k.DelegateCap(cfg.DiskServer.PD, ptSel, pd, m.diskPortalSel, cap.RightCall); err != nil {
 			return nil, err
 		}
 		// Completion EC woken by the doorbell (Figure 4, step 7).
@@ -236,14 +240,16 @@ func New(k *hypervisor.Kernel, cfg Config) (*VMM, error) {
 }
 
 // findSel locates the selector of a freshly created object in a PD's
-// cap space (helper for cross-domain delegation in setup code).
-func findSel(pd *hypervisor.PD, obj cap.Object) cap.Selector {
+// cap space (helper for cross-domain delegation in setup code). A miss
+// means the object was never inserted (or already revoked) and the
+// delegation cannot proceed; the caller propagates the error.
+func findSel(pd *hypervisor.PD, obj cap.Object) (cap.Selector, error) {
 	for _, sel := range pd.Caps.Selectors() {
 		if c, err := pd.Caps.Lookup(sel); err == nil && c.Obj == obj {
-			return sel
+			return sel, nil
 		}
 	}
-	panic("vmm: object not found in capability space")
+	return 0, fmt.Errorf("vmm: object not found in capability space of %s", pd.Name)
 }
 
 // Start gives every vCPU a scheduling context, making the VM runnable.
@@ -269,6 +275,10 @@ func (m *VMM) GuestRead(gpa uint64, n int) []byte {
 }
 
 // GuestWrite fills guest-physical memory.
+//
+// nocharge: cost is carried by the caller — setup-time image/BIOS
+// loading outside measured windows, or the instruction emulator, which
+// charges EmulateInstruction per emulated instruction.
 func (m *VMM) GuestWrite(gpa uint64, b []byte) error {
 	if gpa+uint64(len(b)) > m.size {
 		return fmt.Errorf("vmm: guest write [%#x,%#x) beyond guest memory", gpa, gpa+uint64(len(b)))

@@ -56,6 +56,10 @@ func Assemble(source string) ([]byte, error) {
 func MustAssemble(source string) []byte {
 	b, err := Assemble(source)
 	if err != nil {
+		// invariant: Must-variant for static, known-good assembly in
+		// tests and guest-image builders; the source is authored in this
+		// repository, never supplied by a guest or user domain at run
+		// time (those go through Assemble and get the error).
 		panic(err)
 	}
 	return b

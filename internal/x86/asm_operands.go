@@ -56,12 +56,16 @@ func (a *Assembler) parseOperand(s string) (opd, bool) {
 		return opd{kind: opdCreg, size: 4, reg: r}, true
 	}
 
-	// Size hint?
+	// Size hint? (Ordered slice, not a map: assembler output must be
+	// byte-identical across runs — nova-vet: determinism.)
 	size := 0
-	for hint, sz := range map[string]int{"byte": 1, "word": 2, "dword": 4} {
-		if strings.HasPrefix(low, hint+" ") || strings.HasPrefix(low, hint+"[") {
-			size = sz
-			s = strings.TrimSpace(s[len(hint):])
+	for _, h := range []struct {
+		hint string
+		sz   int
+	}{{"byte", 1}, {"word", 2}, {"dword", 4}} {
+		if strings.HasPrefix(low, h.hint+" ") || strings.HasPrefix(low, h.hint+"[") {
+			size = h.sz
+			s = strings.TrimSpace(s[len(h.hint):])
 			low = strings.ToLower(s)
 			break
 		}
