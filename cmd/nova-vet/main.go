@@ -4,15 +4,24 @@
 //
 //	nova-vet ./...               # the CI / pre-commit gate
 //	nova-vet -list               # describe the analyzers
+//	nova-vet -json ./...         # machine-readable findings
 //	nova-vet -write-baseline ./... # regenerate nova-vet.baseline
+//
+// Exit codes form a contract for CI and tooling: 0 means the tree is
+// clean (modulo baseline), 1 means new findings were reported, 2 means
+// the suite itself could not run (load or type-check error, bad usage).
 //
 // The analyzers (internal/analysis) enforce what the compiler cannot:
 // determinism of the cycle-accounted simulation, the hypercall
 // capability-validation discipline, cycle accounting on mutating entry
-// points, and panic-freedom of shared kernel/device paths.
+// points, panic-freedom of shared kernel/device paths, exhaustive
+// dispatch over VM-exit style enums, and the guest-taint trust
+// boundary (no guest-controlled value reaching an index, length,
+// shift or physical address unchecked).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +30,27 @@ import (
 	"nova/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document. Findings excludes baselined
+// diagnostics; Stale lists baseline entries whose finding is fixed.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	Stale      []string      `json:"stale,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	verbose := flag.Bool("v", false, "also print baseline-suppressed findings")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to accept all current findings")
 	baselinePath := flag.String("baseline", "", "baseline file (default <repo root>/"+analysis.BaselineFile+")")
 	flag.Parse()
@@ -78,6 +105,32 @@ func main() {
 	}
 	kept, suppressed, stale := analysis.ApplyBaseline(root, diags, baseline)
 
+	if *jsonOut {
+		report := jsonReport{Findings: []jsonFinding{}, Suppressed: suppressed, Stale: stale}
+		for _, d := range kept {
+			file := d.Pos.Filename
+			if r, err := filepath.Rel(root, file); err == nil {
+				file = r
+			}
+			report.Findings = append(report.Findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(file),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+		if len(kept) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *verbose && suppressed > 0 {
 		fmt.Printf("nova-vet: %d finding(s) suppressed by %s\n", suppressed, bp)
 	}
@@ -116,7 +169,9 @@ func findRepoRoot() (string, error) {
 	}
 }
 
+// fatal reports a suite failure (load error, bad usage): exit code 2,
+// distinct from exit 1 (findings) per the documented contract.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	os.Exit(2)
 }

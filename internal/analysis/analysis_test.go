@@ -103,6 +103,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{Capcheck, "capcheck"},
 		{Chargecheck, "chargecheck"},
 		{Nopanic, "nopanic"},
+		{Exhaustive, "exhaustive"},
+		{Taint, "taint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -22,6 +22,11 @@ import (
 //   - the entry point is OK if any statically resolvable call chain
 //     from it reaches a charge sink.
 //
+// Reachability runs over the shared program-wide call graph
+// (callgraph.go), which also resolves method values and interface
+// calls, so a charge that happens inside a stored handler (EC.Run) or
+// behind an interface still counts.
+//
 // Setup-time entry points that intentionally do unaccounted work (VM
 // construction, test plumbing) carry a `// nocharge: <reason>` comment
 // on the line directly above the declaration.
@@ -40,8 +45,7 @@ var platformMutators = map[string]bool{
 }
 
 func runChargecheck(pass *Pass) {
-	cg := buildCallGraph(pass.Prog)
-	reach := cg.reachesCharge()
+	reach := pass.Prog.CallGraph().ReachesAny(isChargeSink)
 
 	for _, pkg := range pass.Targets {
 		for _, f := range pkg.Files {
@@ -71,53 +75,6 @@ func runChargecheck(pass *Pass) {
 	}
 }
 
-// callGraph maps each function to its statically resolvable callees.
-type callGraph struct {
-	edges map[*types.Func][]*types.Func
-}
-
-// buildCallGraph collects static call edges for every function body in
-// the program. Calls through function values or interfaces are not
-// resolved — the analysis is a heuristic, and the escape hatch for a
-// genuinely dynamic charge path is the nocharge annotation.
-func buildCallGraph(prog *Program) *callGraph {
-	cg := &callGraph{edges: make(map[*types.Func][]*types.Func)}
-	for _, pkg := range prog.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					var id *ast.Ident
-					switch fun := call.Fun.(type) {
-					case *ast.Ident:
-						id = fun
-					case *ast.SelectorExpr:
-						id = fun.Sel
-					default:
-						return true
-					}
-					if callee, ok := pkg.Info.Uses[id].(*types.Func); ok {
-						cg.edges[caller] = append(cg.edges[caller], callee)
-					}
-					return true
-				})
-			}
-		}
-	}
-	return cg
-}
-
 // isChargeSink reports whether fn is one of the cycle-accounting
 // primitives: Clock.Charge, or Kernel.charge/ChargeUser.
 func isChargeSink(fn *types.Func) bool {
@@ -140,36 +97,6 @@ func isChargeSink(fn *types.Func) bool {
 		return fn.Name() == "charge" || fn.Name() == "ChargeUser"
 	}
 	return false
-}
-
-// reachesCharge computes, by fixpoint over the call graph, the set of
-// functions from which a charge sink is statically reachable.
-func (cg *callGraph) reachesCharge() map[*types.Func]bool {
-	reach := make(map[*types.Func]bool)
-	for caller, callees := range cg.edges {
-		for _, c := range callees {
-			if isChargeSink(c) {
-				reach[caller] = true
-				break
-			}
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for caller, callees := range cg.edges {
-			if reach[caller] {
-				continue
-			}
-			for _, c := range callees {
-				if reach[c] {
-					reach[caller] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return reach
 }
 
 // mutatesState reports whether the method body writes simulated state:

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive guards the dispatch points that grow with the instruction
+// and hypercall surface: a switch over an enum-like named integer type
+// (x86.ExitReason, hypercall numbers, EC kinds) must either list every
+// declared constant of that type or carry a `default` arm. Without
+// this, adding an exit reason silently falls through existing switches
+// — the VM-exit equivalent of an unhandled interrupt.
+//
+// A type is enum-like when it is a named (defined) type with an integer
+// underlying type, declared in an analyzed package, with at least two
+// package-level constants of exactly that type. Case coverage is
+// computed by constant *value*, so aliases (two names for one value)
+// count as covering each other.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over enum-like named types must cover all constants or have a default arm",
+	run:  runExhaustive,
+}
+
+// enumInfo is the declared constant set of one enum-like type.
+type enumInfo struct {
+	names  []string                  // declaration order
+	values map[string]constant.Value // name -> value
+}
+
+func runExhaustive(pass *Pass) {
+	enums := collectEnums(pass.Prog)
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, pkg, enums, sw)
+				return true
+			})
+		}
+	}
+}
+
+// collectEnums finds every enum-like named type in the program and its
+// declared constants, in declaration (source) order.
+func collectEnums(prog *Program) map[*types.Named]*enumInfo {
+	enums := make(map[*types.Named]*enumInfo)
+	for _, pkg := range prog.Pkgs {
+		// Walk const declarations in source order so missing-constant
+		// lists in diagnostics read like the type's declaration.
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok {
+							continue
+						}
+						named, ok := c.Type().(*types.Named)
+						if !ok || !isIntegerType(named) {
+							continue
+						}
+						info := enums[named]
+						if info == nil {
+							info = &enumInfo{values: make(map[string]constant.Value)}
+							enums[named] = info
+						}
+						info.names = append(info.names, c.Name())
+						info.values[c.Name()] = c.Val()
+					}
+				}
+			}
+		}
+	}
+	// A single constant of a type is a sentinel, not an enum.
+	for named, info := range enums {
+		if len(info.names) < 2 {
+			delete(enums, named)
+		}
+	}
+	return enums
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func checkSwitch(pass *Pass, pkg *Package, enums map[*types.Named]*enumInfo, sw *ast.SwitchStmt) {
+	tv, ok := pkg.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	info, ok := enums[named]
+	if !ok {
+		return
+	}
+	covered := make(map[string]bool) // by exact constant string
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default arm: always exhaustive
+		}
+		for _, e := range cc.List {
+			etv, ok := pkg.Info.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case (a variable) can cover anything;
+				// be conservative and treat the switch as handled.
+				return
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for _, name := range info.names {
+		v := info.values[name].ExactString()
+		if covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		missing = append(missing, name)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive and has no default arm: missing %s",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}

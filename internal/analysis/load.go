@@ -38,6 +38,7 @@ type Program struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+	cg     *CallGraph // built lazily by CallGraph()
 }
 
 // Package returns the loaded package with the given import path, or nil.

@@ -39,7 +39,9 @@ func DefaultSuite() []SuiteEntry {
 		{Capcheck, nil}, // self-limiting: only fires on hypercall-shaped Kernel methods
 		{Chargecheck, EntryPointPackages},
 		{Determinism, SimCriticalPackages},
+		{Exhaustive, SimCriticalPackages},
 		{Nopanic, SimCriticalPackages},
+		{Taint, SimCriticalPackages},
 	}
 }
 

@@ -1,0 +1,94 @@
+// Fixture for the exhaustive analyzer: switches over local enum types
+// (named integer types with two or more package-level constants).
+package fixture
+
+// Reason models an exit-reason style enum.
+type Reason int
+
+const (
+	ReasonIO Reason = iota
+	ReasonMMIO
+	ReasonHalt
+)
+
+// full covers every constant: clean.
+func full(r Reason) int {
+	switch r {
+	case ReasonIO:
+		return 1
+	case ReasonMMIO:
+		return 2
+	case ReasonHalt:
+		return 3
+	}
+	return 0
+}
+
+// defaulted has a default arm: clean regardless of coverage.
+func defaulted(r Reason) int {
+	switch r {
+	case ReasonIO:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// missing covers one of three constants and has no default arm.
+func missing(r Reason) int {
+	switch r { // want "missing ReasonHalt, ReasonMMIO"
+	case ReasonIO:
+		return 1
+	}
+	return 0
+}
+
+// dynamic has a non-constant case clause: exempt (value coverage is
+// not decidable statically).
+func dynamic(r, x Reason) int {
+	switch r {
+	case x:
+		return 1
+	}
+	return 0
+}
+
+// Op has an alias constant: coverage is judged by value, not by name.
+type Op int
+
+const (
+	OpRead  Op = 1
+	OpWrite Op = 2
+	OpLoad  Op = 1 // alias of OpRead
+)
+
+// aliased is clean: OpLoad covers OpRead's value.
+func aliased(o Op) int {
+	switch o {
+	case OpLoad, OpWrite:
+		return 1
+	}
+	return 0
+}
+
+// lone has a single constant, so it is not treated as an enum.
+type lone int
+
+const loneOnly lone = 0
+
+func loneSwitch(v lone) int {
+	switch v {
+	case loneOnly:
+		return 1
+	}
+	return 0
+}
+
+// plain switches over a basic type: never an enum.
+func plain(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -36,9 +36,7 @@ ahci_init:
 
 ahci_cmd_common:
 	mov dword [disk_done], 0
-	mov edx, ecx
-	shl edx, 16
-	or edx, 5
+	mov edx, 0x10005
 	cmp byte [disk_write], 0
 	jz acc_read
 	or edx, 0x40

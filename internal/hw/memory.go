@@ -89,7 +89,7 @@ func (m *Memory) Read8(addr PhysAddr) uint8 {
 		return uint8(h.MMIORead(off, 1))
 	}
 	m.checkRAM(addr, 1)
-	return m.ram[addr]
+	return m.ram[addr] // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Read16 loads a little-endian 16-bit value.
@@ -98,7 +98,7 @@ func (m *Memory) Read16(addr PhysAddr) uint16 {
 		return uint16(h.MMIORead(off, 2))
 	}
 	m.checkRAM(addr, 2)
-	return binary.LittleEndian.Uint16(m.ram[addr:])
+	return binary.LittleEndian.Uint16(m.ram[addr:]) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Read32 loads a little-endian 32-bit value.
@@ -107,13 +107,13 @@ func (m *Memory) Read32(addr PhysAddr) uint32 {
 		return h.MMIORead(off, 4)
 	}
 	m.checkRAM(addr, 4)
-	return binary.LittleEndian.Uint32(m.ram[addr:])
+	return binary.LittleEndian.Uint32(m.ram[addr:]) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Read64 loads a little-endian 64-bit value from RAM (not MMIO).
 func (m *Memory) Read64(addr PhysAddr) uint64 {
 	m.checkRAM(addr, 8)
-	return binary.LittleEndian.Uint64(m.ram[addr:])
+	return binary.LittleEndian.Uint64(m.ram[addr:]) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write8 stores one byte, routing to MMIO if mapped.
@@ -123,7 +123,7 @@ func (m *Memory) Write8(addr PhysAddr, v uint8) {
 		return
 	}
 	m.checkRAM(addr, 1)
-	m.ram[addr] = v
+	m.ram[addr] = v // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write16 stores a little-endian 16-bit value.
@@ -133,7 +133,7 @@ func (m *Memory) Write16(addr PhysAddr, v uint16) {
 		return
 	}
 	m.checkRAM(addr, 2)
-	binary.LittleEndian.PutUint16(m.ram[addr:], v)
+	binary.LittleEndian.PutUint16(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write32 stores a little-endian 32-bit value.
@@ -143,27 +143,27 @@ func (m *Memory) Write32(addr PhysAddr, v uint32) {
 		return
 	}
 	m.checkRAM(addr, 4)
-	binary.LittleEndian.PutUint32(m.ram[addr:], v)
+	binary.LittleEndian.PutUint32(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write64 stores a little-endian 64-bit value to RAM (not MMIO).
 func (m *Memory) Write64(addr PhysAddr, v uint64) {
 	m.checkRAM(addr, 8)
-	binary.LittleEndian.PutUint64(m.ram[addr:], v)
+	binary.LittleEndian.PutUint64(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // ReadBytes copies n bytes of RAM starting at addr into a fresh slice.
 func (m *Memory) ReadBytes(addr PhysAddr, n int) []byte {
 	m.checkRAM(addr, n)
 	out := make([]byte, n)
-	copy(out, m.ram[addr:])
+	copy(out, m.ram[addr:]) // sanitized: checkRAM above panics on out-of-range physical access
 	return out
 }
 
 // WriteBytes copies b into RAM at addr.
 func (m *Memory) WriteBytes(addr PhysAddr, b []byte) {
 	m.checkRAM(addr, len(b))
-	copy(m.ram[addr:], b)
+	copy(m.ram[addr:], b) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // RAM exposes the raw backing slice for DMA engines. Callers must respect

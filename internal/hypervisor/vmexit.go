@@ -25,6 +25,11 @@ func PortalSelectorFor(r x86.ExitReason, vcpu int) cap.Selector {
 // other events travel to the user-level VMM as an IPC message carrying
 // the MTD-selected guest state (§5.2, §8.4).
 func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
+	if exit.Reason < 0 || int(exit.Reason) >= x86.NumExitReasons {
+		// The exit record crosses the guest/host boundary; a reason
+		// outside the architectural set means corrupted guest state.
+		return k.killVM(ec, fmt.Sprintf("malformed VM exit reason %d", exit.Reason))
+	}
 	v := ec.VCPU
 	v.Exits[exit.Reason]++
 	k.Stats.VMExits[exit.Reason]++
@@ -142,7 +147,9 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 			case 4:
 				val = v.State.CR4
 			}
-			v.State.GPR[exit.CRGPR] = val
+			// The GPR operand decodes from a 3-bit modrm field; mask so
+			// a malformed exit record cannot index past the register file.
+			v.State.GPR[exit.CRGPR&7] = val
 		}
 		v.State.EIP += uint32(exit.InstLen)
 		return true
@@ -152,8 +159,10 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 		tlb.FlushVA(ec.PD.Tag, exit.Linear)
 		v.State.EIP += uint32(exit.InstLen)
 		return true
+	default:
+		// Every other exit reason travels to the user-level VMM (§8.4).
+		return false
 	}
-	return false
 }
 
 // killVM terminates a virtual machine after an unrecoverable condition.

@@ -224,6 +224,12 @@ func EncodeRequest(r *DiskRequest) []uint64 {
 	return w
 }
 
+// MaxDMASegs bounds a request's scatter list: each command table is
+// 0x200 bytes with the PRDT at offset 0x80, so at most (0x200-0x80)/16
+// entries fit before a longer list would overwrite the next slot's
+// table in driver memory.
+const MaxDMASegs = 24
+
 // DecodeRequest unpacks UTCB words.
 func DecodeRequest(w []uint64) (DiskRequest, error) {
 	if len(w) < 5 {
@@ -231,6 +237,9 @@ func DecodeRequest(w []uint64) (DiskRequest, error) {
 	}
 	r := DiskRequest{Op: int(w[0]), LBA: w[1], Count: int(w[2]), Cookie: w[3]}
 	n := int(w[4])
+	if n < 0 || n > MaxDMASegs {
+		return DiskRequest{}, fmt.Errorf("services: scatter list of %d segments exceeds %d", n, MaxDMASegs)
+	}
 	if len(w) < 5+2*n {
 		return DiskRequest{}, fmt.Errorf("services: truncated scatter list")
 	}

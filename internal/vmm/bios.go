@@ -199,6 +199,14 @@ func (m *VMM) bios13(msg *hypervisor.UTCB) {
 // goes through the disk server).
 func (m *VMM) biosDiskRead(msg *hypervisor.UTCB, lba uint64, count int, gpa uint64) {
 	st := &msg.State
+	// The sector count is guest-written (AL, or the DAP's 16-bit field);
+	// reject anything beyond the conventional 127-sector BIOS transfer
+	// limit instead of sizing an allocation by it.
+	if count <= 0 || count > 127 {
+		m.setCF(msg, true)
+		st.SetReg8(4, 0x01)
+		return
+	}
 	buf := make([]byte, count*hw.SectorSize)
 	if err := m.Cfg.BootDisk.ReadSectors(lba, count, buf); err != nil {
 		m.setCF(msg, true)

@@ -17,6 +17,11 @@ const VAHCIBase = uint64(hw.AHCIMMIOBase)
 // VAHCIIRQ is the virtual interrupt line of the controller.
 const VAHCIIRQ = 11
 
+// maxPRDEntries mirrors the disk server's scatter-list bound: the
+// virtual controller refuses guest command headers advertising more
+// PRD entries than a forwarded request may carry.
+const maxPRDEntries = services.MaxDMASegs
+
 // VAHCI is the virtual AHCI controller: a software state machine
 // mimicking the host bus adapter (§7.2). Commands the guest rings are
 // decoded from guest memory and forwarded to the disk server over the
@@ -132,6 +137,12 @@ func (a *VAHCI) issue(slot int) {
 	hdrGPA := a.clb + uint64(slot)*32
 	hdr := m.guestRead32(hdrGPA)
 	prdtl := int(hdr >> 16)
+	if prdtl > maxPRDEntries {
+		// The PRD count is guest-written; refuse oversized tables
+		// instead of walking wherever the guest points.
+		a.fail(slot)
+		return
+	}
 	ctba := uint64(m.guestRead32(hdrGPA+8)) | uint64(m.guestRead32(hdrGPA+12))<<32
 
 	cfis := m.GuestRead(ctba, 20)
@@ -214,6 +225,11 @@ func (a *VAHCI) completeLocal(slot int) {
 // nocharge: the completion EC (handleDiskCompletions) charges one
 // DeviceModelUpdate per doorbell batch before draining records.
 func (a *VAHCI) Complete(slot int, ok bool) {
+	if slot < 0 || slot >= 32 {
+		// The cookie round-trips through the disk server; treat an
+		// out-of-range slot as a protocol violation, not an index.
+		return
+	}
 	bit := uint32(1) << uint(slot)
 	a.ci &^= bit
 	a.inflight &^= bit

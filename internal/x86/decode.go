@@ -269,6 +269,8 @@ prefixes:
 	case immFar:
 		inst.Imm = d.uz(inst.OpSize)
 		inst.Imm2 = d.u16()
+	case immNone, immGrp3:
+		// No immediate bytes; immGrp3 was rewritten above for TEST.
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -295,7 +297,7 @@ func decodeModRM(d *decodeCursor, inst *Inst) error {
 		if inst.RM == 4 { // SIB
 			sib := d.byte()
 			inst.HasSIB = true
-			inst.Scale = int(sib >> 6)
+			inst.Scale = int(sib >> 6 & 3) // 2-bit field; mask keeps the shift in effectiveAddr bounded
 			inst.Index = int(sib >> 3 & 7)
 			inst.Base = int(sib & 7)
 			if inst.Index == 4 {

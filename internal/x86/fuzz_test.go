@@ -80,6 +80,46 @@ func TestInterceptedInterpreterSurvivesRandomBytes(t *testing.T) {
 	}
 }
 
+// FuzzDecode is the native fuzz target for the instruction decoder.
+// The seed corpus concentrates on guest-byte patterns the taint
+// analyzer's sinks guard: SIB bytes exercising every scale-bit value
+// (the decoder masks sib>>6 to two bits before effectiveAddr shifts by
+// it), ModRM reg fields at the 3-bit boundary (CR-access GPR
+// selection), group-3 TEST immediates, and shift counts above the
+// architectural mask.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0x8b, 0x04, 0x20},                         // mov eax, [eax+eiz]   scale=0
+		{0x8b, 0x04, 0x65, 1, 2, 3, 4},             // SIB scale=1, disp32
+		{0x8b, 0x04, 0xb3},                         // mov eax, [ebx+esi*4] scale=2
+		{0x8b, 0x04, 0xf5, 0xff, 0xff, 0xff, 0xff}, // SIB scale=3 (both top bits)
+		{0x0f, 0x22, 0xf8},                         // mov cr7, eax: reg field = 7
+		{0x0f, 0x20, 0xc0},                         // mov eax, cr0
+		{0xf6, 0xc0, 0xff},                         // grp3 TEST r/m8, imm8
+		{0xf7, 0xc0, 0xde, 0xad, 0xbe, 0xef},       // grp3 TEST r/m32, imm32
+		{0xc1, 0xe0, 0xff},                         // shl eax, 0xff: count > 31
+		{0xd3, 0xe8},                               // shr eax, cl
+		{0x66, 0x67, 0x8b, 0x04, 0xf5, 1, 2, 3, 4}, // prefix soup + SIB scale=3
+		{0xf3, 0x26, 0xa5},                         // rep es: movsd
+	}
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte, def32 bool) {
+		inst, err := Decode(&sliceFetcher{b: buf}, def32)
+		if err != nil {
+			return
+		}
+		if inst.Len <= 0 || inst.Len > 15 {
+			t.Fatalf("decoded length %d from %x", inst.Len, buf)
+		}
+		if inst.Scale < 0 || inst.Scale > 3 {
+			t.Fatalf("SIB scale %d out of range from %x", inst.Scale, buf)
+		}
+	})
+}
+
 // TestDecoderNeverPanicsOnRandomInput decodes random byte strings.
 func TestDecoderNeverPanicsOnRandomInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
