@@ -21,6 +21,7 @@ func main() {
 		"fig1|fig5|fig6|fig7|fig8|fig9|tab1|tab2|ablations|all")
 	scaleName := flag.String("scale", "quick", "quick|full")
 	root := flag.String("root", ".", "repository root for the fig1 line count")
+	out := flag.String("out", "", "write results as JSON to this file (e.g. BENCH_quick.json)")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -33,6 +34,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+
+	report := &bench.Report{Scale: *scaleName}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -58,7 +61,9 @@ func main() {
 		return nil
 	})
 	run("tab1", func() error {
-		fmt.Println(bench.RunTab1())
+		t := bench.RunTab1()
+		report.Add("tab1", t)
+		fmt.Println(t)
 		return nil
 	})
 	run("fig5", func() error {
@@ -66,6 +71,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("fig5", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -74,6 +80,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("fig6", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -82,6 +89,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("fig7", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -90,6 +98,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("fig8", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -98,6 +107,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("fig9", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -106,6 +116,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("tab2", t)
 		fmt.Println(t)
 		return nil
 	})
@@ -114,7 +125,21 @@ func main() {
 		if err != nil {
 			return err
 		}
+		report.Add("ablations", t)
 		fmt.Println(t)
 		return nil
 	})
+
+	if *out != "" {
+		b, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s (%d experiments)\n", *out, len(report.Experiments))
+	}
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
 	"nova/internal/services"
+	"nova/internal/trace"
 	"nova/internal/vmm"
 	"nova/internal/x86"
 )
@@ -37,6 +39,9 @@ func main() {
 	modelName := flag.String("model", "blm", "k8|k10|ynh|cnr|wfd|blm")
 	image := flag.String("image", "", "boot-sector binary for -workload boot")
 	maxCycles := flag.Uint64("max-cycles", 1<<34, "run budget in cycles")
+	traceFile := flag.String("trace", "", "write the encoded event trace to this file (read it with nova-trace)")
+	metricsFile := flag.String("metrics", "", "write counters and histograms as JSON to this file")
+	traceCap := flag.Int("trace-capacity", 65536, "per-CPU event-ring capacity for -trace/-metrics")
 	flag.Parse()
 
 	model, ok := models[*modelName]
@@ -49,7 +54,7 @@ func main() {
 	}
 
 	if *workload == "boot" {
-		runBoot(model, *image)
+		runBoot(model, *image, *traceFile, *metricsFile, *traceCap)
 		return
 	}
 
@@ -76,6 +81,12 @@ func main() {
 	cfg := guest.RunnerConfig{Model: model, Mode: mode, UseVPID: true, HostLargePages: true}
 	if withDisk && (mode == guest.ModeVirtEPT || mode == guest.ModeVirtVTLB) {
 		cfg.WithDiskServer = true
+	}
+	if *traceFile != "" || *metricsFile != "" {
+		if mode == guest.ModeNative {
+			fail("-trace/-metrics require a virtualized mode (the tracer lives in the microhypervisor)")
+		}
+		cfg.TraceCapacity = *traceCap
 	}
 	r, err := guest.NewRunner(cfg, img)
 	if err != nil {
@@ -124,11 +135,39 @@ func main() {
 	if r.VMM != nil && r.VMM.Console() != "" {
 		fmt.Printf("console: %q\n", r.VMM.Console())
 	}
+	writeTraceOutputs(r.Tracer, *traceFile, *metricsFile)
+}
+
+// writeTraceOutputs saves the encoded trace and/or the metrics JSON.
+func writeTraceOutputs(tr *trace.Tracer, traceFile, metricsFile string) {
+	if tr == nil {
+		return
+	}
+	if traceFile != "" {
+		b, err := tr.Encode()
+		if err != nil {
+			fail("encode trace: %v", err)
+		}
+		if err := os.WriteFile(traceFile, b, 0o644); err != nil {
+			fail("write trace: %v", err)
+		}
+		fmt.Printf("trace: %s (%d events recorded, hash %#x)\n", traceFile, len(tr.Events()), tr.Hash())
+	}
+	if metricsFile != "" {
+		b, err := json.MarshalIndent(tr.MetricsData(), "", "  ")
+		if err != nil {
+			fail("encode metrics: %v", err)
+		}
+		if err := os.WriteFile(metricsFile, append(b, '\n'), 0o644); err != nil {
+			fail("write metrics: %v", err)
+		}
+		fmt.Printf("metrics: %s\n", metricsFile)
+	}
 }
 
 // runBoot performs the full BIOS boot path on a user-provided boot
 // sector (or a built-in demo that prints via INT 10h).
-func runBoot(model hw.CPUModel, imagePath string) {
+func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int) {
 	var sector []byte
 	if imagePath != "" {
 		b, err := os.ReadFile(imagePath)
@@ -187,12 +226,17 @@ msg:
 	if err := m.Start(10, 10_000_000); err != nil {
 		fail("start: %v", err)
 	}
+	var tr *trace.Tracer
+	if traceFile != "" || metricsFile != "" {
+		tr = k.AttachTracer(traceCap)
+	}
 	k.Run(k.Now() + 500_000_000)
 	fmt.Printf("console: %q\n", m.Console())
 	fmt.Printf("BIOS calls: %d, VM exits: %d\n", m.Stats.BIOSCalls, m.EC.VCPU.TotalExits())
 	if len(k.Killed) > 0 {
 		fmt.Printf("killed: %v\n", k.Killed)
 	}
+	writeTraceOutputs(tr, traceFile, metricsFile)
 }
 
 func fail(format string, args ...any) {

@@ -105,6 +105,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{Nopanic, "nopanic"},
 		{Exhaustive, "exhaustive"},
 		{Taint, "taint"},
+		{Tracepure, "tracepure"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -16,6 +16,7 @@ var SimCriticalPackages = []string{
 	ModulePath + "/internal/vmm",
 	ModulePath + "/internal/x86",
 	ModulePath + "/internal/cap",
+	ModulePath + "/internal/trace",
 }
 
 // EntryPointPackages hold the kernel and device-model entry points that
@@ -42,6 +43,7 @@ func DefaultSuite() []SuiteEntry {
 		{Exhaustive, SimCriticalPackages},
 		{Nopanic, SimCriticalPackages},
 		{Taint, SimCriticalPackages},
+		{Tracepure, nil}, // self-limiting: only fires on trace-shaped code
 	}
 }
 

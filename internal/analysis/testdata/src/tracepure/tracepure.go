@@ -1,0 +1,106 @@
+// Package fixture seeds tracepure violations: trace-layer code that
+// perturbs the simulation, and emission call sites whose arguments do
+// work. The analyzer matches the trace layer by receiver-type name
+// (Tracer, Ring, Histogram, CounterSet), so this package models it the
+// same way the chargecheck fixture models Clock.
+package fixture
+
+import "time"
+
+// Cycles is virtual time.
+type Cycles uint64
+
+// Clock mirrors hw.Clock.
+type Clock struct{ now Cycles }
+
+// Charge advances virtual time by n cycles of work.
+func (c *Clock) Charge(n Cycles) { c.now += n }
+
+// Now reads virtual time (pure; the emission idiom).
+func (c *Clock) Now() Cycles { return c.now }
+
+// Mem mirrors the simulated physical memory.
+type Mem struct{ word uint32 }
+
+// Write32 is a platform mutator by name.
+func (m *Mem) Write32(off uint32, v uint32) { m.word = v }
+
+// Tracer mirrors trace.Tracer.
+type Tracer struct {
+	events []uint64
+	clk    *Clock
+	mem    *Mem
+}
+
+// Emit records one event without touching the simulation.
+func (t *Tracer) Emit(now Cycles, a uint64) {
+	t.events = append(t.events, uint64(now)+a)
+}
+
+// BadCharge perturbs virtual time from inside the trace layer.
+func (t *Tracer) BadCharge(n Cycles) { // want "charges simulated cycles"
+	t.clk.Charge(n)
+	t.events = append(t.events, uint64(n))
+}
+
+// BadChargeTransitive hides the charge behind a helper.
+func (t *Tracer) BadChargeTransitive() { // want "charges simulated cycles"
+	t.account()
+}
+
+func (t *Tracer) account() { // want "charges simulated cycles"
+	t.clk.Charge(1)
+}
+
+// BadMutate writes guest-visible state while recording.
+func (t *Tracer) BadMutate() { // want "mutates guest-visible platform state"
+	t.mem.Write32(0, 1)
+}
+
+// BadWallClock timestamps events with host time instead of the
+// virtual clock.
+func (t *Tracer) BadWallClock() { // want "reads the wall clock"
+	t.events = append(t.events, uint64(time.Now().UnixNano()))
+}
+
+// Ring is trace-layer by type name too.
+type Ring struct{ n int }
+
+// Push is pure bookkeeping: fine.
+func (r *Ring) Push(v uint64) { r.n++ }
+
+// Device is an instrumented component (not trace-layer itself).
+type Device struct {
+	tr  *Tracer
+	clk *Clock
+}
+
+// GoodEmit hoists the timestamp read before the emission — the idiom
+// every instrumented call site uses.
+func (d *Device) GoodEmit() {
+	now := d.clk.Now()
+	d.tr.Emit(now, 1)
+}
+
+// GoodEmitInline reads the virtual clock inside the argument list,
+// which is pure and allowed.
+func (d *Device) GoodEmitInline() {
+	d.tr.Emit(d.clk.Now(), 1)
+}
+
+// BadEmitCharging does chargeable work inside the emission arguments:
+// the traced run diverges from the untraced one.
+func (d *Device) BadEmitCharging() {
+	d.tr.Emit(d.step(), 1) // want "charges simulated cycles"
+}
+
+// step models a helper that advances the simulation.
+func (d *Device) step() Cycles {
+	d.clk.Charge(5)
+	return d.clk.Now()
+}
+
+// BadEmitWallClock stamps an event with host time at the call site.
+func (d *Device) BadEmitWallClock() {
+	d.tr.Emit(0, uint64(time.Now().UnixNano())) // want "reads the wall clock"
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracepure enforces the observability layer's zero-perturbation
+// contract (DESIGN.md §observability): recording a trace event must be
+// invisible to the simulation. Two rules:
+//
+//  1. Trace-layer functions — everything declared in a package named
+//     "trace", plus methods on the trace types (Tracer, Ring,
+//     Histogram, CounterSet) wherever they are declared — must not
+//     reach a cycle-charge sink (Clock.Charge, Kernel.charge/
+//     ChargeUser), a platform mutator (PortWrite, MMIOWrite, ...), or
+//     a wall-clock read (time.Now, ...). Reachability runs over the
+//     shared whole-program call graph, so indirection doesn't hide a
+//     violation.
+//
+//  2. Emission call sites: arguments of a call to a trace-type method
+//     must not contain nested calls that charge, mutate platform
+//     state, or read the wall clock — `tr.Emit(k.Now(), ...)` is the
+//     idiom; `tr.Emit(doWorkAndCharge(), ...)` would make the traced
+//     run diverge from the untraced one.
+//
+// The analyzer is self-limiting (it only fires on trace-shaped code),
+// so the suite runs it over every package.
+var Tracepure = &Analyzer{
+	Name: "tracepure",
+	Doc:  "trace emission must not charge cycles, mutate guest-visible state, or read the wall clock",
+	run:  runTracepure,
+}
+
+// traceTypeNames are the receiver types that make up the trace layer,
+// matched by name so fixture packages can model them.
+var traceTypeNames = map[string]bool{
+	"Tracer": true, "Ring": true, "Histogram": true, "CounterSet": true,
+}
+
+func runTracepure(pass *Pass) {
+	cg := pass.Prog.CallGraph()
+	reachCharge := cg.ReachesAny(isChargeSink)
+	reachMutate := cg.ReachesAny(isPlatformMutatorFunc)
+	reachWall := cg.ReachesAny(isWallClockFunc)
+
+	describe := func(fn *types.Func) string {
+		switch {
+		case reachCharge[fn] || isChargeSink(fn):
+			return "charges simulated cycles"
+		case reachMutate[fn] || isPlatformMutatorFunc(fn):
+			return "mutates guest-visible platform state"
+		case reachWall[fn] || isWallClockFunc(fn):
+			return "reads the wall clock"
+		}
+		return ""
+	}
+
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !isTraceLayerFunc(pkg, fn) {
+					continue
+				}
+				if why := describe(fn); why != "" {
+					pass.Reportf(fd.Pos(), "trace-layer function %s %s (trace emission must be zero-perturbation)", fd.Name.Name, why)
+				}
+			}
+
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isTraceMethodCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						inner, ok := m.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						for _, callee := range cg.CalleesAt(inner) {
+							if why := describe(callee); why != "" {
+								pass.Reportf(inner.Pos(), "argument of trace emission calls %s, which %s (hoist it before the emission)", callee.Name(), why)
+							}
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isTraceLayerFunc reports whether fn belongs to the trace layer: any
+// function in a package named "trace", or a method on one of the trace
+// types regardless of package.
+func isTraceLayerFunc(pkg *Package, fn *types.Func) bool {
+	if pkg.Types.Name() == "trace" {
+		return true
+	}
+	return recvIsTraceType(fn)
+}
+
+// recvIsTraceType reports whether fn is a method on Tracer, Ring,
+// Histogram or CounterSet.
+func recvIsTraceType(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && traceTypeNames[named.Obj().Name()]
+}
+
+// isTraceMethodCall reports whether the call invokes a method on a
+// trace type (an emission or metrics-recording site).
+func isTraceMethodCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && recvIsTraceType(fn)
+}
+
+// isPlatformMutatorFunc reports whether fn is a method carrying one of
+// the platform-mutator names (the same name set chargecheck uses).
+func isPlatformMutatorFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return platformMutators[fn.Name()]
+}
+
+// isWallClockFunc reports whether fn is one of the package-level time
+// functions that observe host wall-clock time.
+func isWallClockFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]
+}

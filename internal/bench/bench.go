@@ -57,10 +57,10 @@ type Series struct {
 
 // Table renders simple fixed-width result tables.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 func (t *Table) String() string {

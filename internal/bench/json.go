@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"encoding/json"
+)
+
+// Report is the machine-readable form of a bench run, written by
+// `nova-bench -out BENCH_<scale>.json`. It carries the same tables the
+// terminal output shows, so CI can archive one artifact per run and
+// diff results across revisions without screen-scraping.
+type Report struct {
+	Scale       string       `json:"scale"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one named result table.
+type Experiment struct {
+	Name  string `json:"name"`
+	Table *Table `json:"table"`
+}
+
+// Add appends one experiment's table to the report.
+func (r *Report) Add(name string, t *Table) {
+	r.Experiments = append(r.Experiments, Experiment{Name: name, Table: t})
+}
+
+// JSON serializes the report, indented, trailing newline included.
+// An empty report encodes as "experiments": [] rather than null.
+func (r *Report) JSON() ([]byte, error) {
+	if r.Experiments == nil {
+		r.Experiments = []Experiment{}
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,19 +1,16 @@
 package guest
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"testing"
 
 	"nova/internal/hw"
-	"nova/internal/hypervisor"
-	"nova/internal/x86"
 )
 
 // determinismRun boots one workload on a fresh platform and returns the
-// final cycle count plus an FNV hash of the full VM-exit trace (reason,
-// guest EIP, virtual time of every exit, in dispatch order).
+// final cycle count plus the FNV hash of the full encoded trace (every
+// event's kind, payload, virtual timestamp and sequence number, plus
+// all counters and histograms).
 //
 // This is the property the whole evaluation rests on — same inputs →
 // identical virtual time — and the runtime counterpart of the nova-vet
@@ -23,19 +20,10 @@ import (
 // wall-clock dependence).
 func determinismRun(t *testing.T, cfg RunnerConfig, img []byte, params []uint32) (hw.Cycles, uint64, uint64) {
 	t.Helper()
+	cfg.TraceCapacity = 4096
 	r, err := NewRunner(cfg, img)
 	if err != nil {
 		t.Fatal(err)
-	}
-	h := fnv.New64a()
-	var exits uint64
-	var buf [16]byte
-	r.K.TraceExit = func(_ *hypervisor.EC, reason x86.ExitReason, eip uint32, now hw.Cycles) {
-		exits++
-		binary.LittleEndian.PutUint32(buf[0:], uint32(reason))
-		binary.LittleEndian.PutUint32(buf[4:], eip)
-		binary.LittleEndian.PutUint64(buf[8:], uint64(now))
-		h.Write(buf[:])
 	}
 	r.Chunk = 100_000
 	writeParams(r, params...)
@@ -43,12 +31,16 @@ func determinismRun(t *testing.T, cfg RunnerConfig, img []byte, params []uint32)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	return cycles, h.Sum64(), exits
+	var exits uint64
+	for _, n := range r.Tracer.ExitCounts {
+		exits += n
+	}
+	return cycles, r.Tracer.Hash(), exits
 }
 
 // TestDeterministicBootDoubleRun boots the same guest workload twice on
 // fresh platforms and requires bit-identical results: the same final
-// cycle count and the same VM-exit trace hash. It covers both paging
+// cycle count and the same encoded-trace hash. It covers both paging
 // modes and a disk-backed boot, the paths with the most asynchronous
 // machinery (event queue, interrupt injection, DMA completions).
 func TestDeterministicBootDoubleRun(t *testing.T) {
@@ -82,7 +74,7 @@ func TestDeterministicBootDoubleRun(t *testing.T) {
 			c1, h1, n1 := determinismRun(t, tc.cfg, tc.img, tc.params)
 			c2, h2, n2 := determinismRun(t, tc.cfg, tc.img, tc.params)
 			if n1 == 0 {
-				t.Fatal("trace hook observed no VM exits; the workload did not exercise virtualization")
+				t.Fatal("tracer observed no VM exits; the workload did not exercise virtualization")
 			}
 			if c1 != c2 {
 				t.Errorf("cycle counts differ between identical runs: %d vs %d (Δ=%d)", c1, c2, int64(c2)-int64(c1))
@@ -91,7 +83,7 @@ func TestDeterministicBootDoubleRun(t *testing.T) {
 				t.Errorf("exit counts differ between identical runs: %d vs %d", n1, n2)
 			}
 			if h1 != h2 {
-				t.Errorf("VM-exit trace hashes differ between identical runs: %#x vs %#x", h1, h2)
+				t.Errorf("trace hashes differ between identical runs: %#x vs %#x", h1, h2)
 			}
 			t.Logf("%s: %d cycles, %d exits, trace %s", tc.name, c1, n1, fmt.Sprintf("%#x", h1))
 		})

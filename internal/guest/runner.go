@@ -6,6 +6,7 @@ import (
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
 	"nova/internal/services"
+	"nova/internal/trace"
 	"nova/internal/vmm"
 	"nova/internal/x86"
 )
@@ -74,6 +75,12 @@ type RunnerConfig struct {
 	DisableMTDOpt       bool
 	DisableDirectSwitch bool
 	DisableVTLBTrick    bool
+
+	// TraceCapacity, when non-zero, attaches a tracer with per-CPU
+	// event rings of that many entries once the stack is built (so
+	// construction noise is excluded from the trace). Only meaningful
+	// for the virtualized modes.
+	TraceCapacity int
 }
 
 // Runner executes one guest kernel under one configuration and exposes
@@ -93,6 +100,9 @@ type Runner struct {
 
 	// Chunk is the scheduling/polling granularity of RunUntilDone.
 	Chunk hw.Cycles
+
+	// Tracer is the event tracer, set when Cfg.TraceCapacity > 0.
+	Tracer *trace.Tracer
 
 	guestBase uint64
 }
@@ -206,6 +216,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 	st.EIP = Entry
 	if err := m.Start(10, 10_000_000); err != nil {
 		return nil, err
+	}
+	if cfg.TraceCapacity > 0 {
+		r.Tracer = k.AttachTracer(cfg.TraceCapacity)
 	}
 	return r, nil
 }

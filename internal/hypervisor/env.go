@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -317,6 +318,7 @@ func (e *vtlbEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, er
 	}
 	if se, ok := v.Shadow.entries[vpn]; ok && se.memVer == e.ec.PD.Mem.Version {
 		if !write || se.guestW && se.hostW {
+			e.k.Tracer.CountVTLBHit()
 			e.k.charge(2 * cost.PageWalkLevel) // MMU walk of the shadow table
 			e.tlb().InsertSmall(e.tag(), va, se.hpaPage, se.guestW && se.hostW, true, false)
 			return se.hpaPage<<12 | uint64(va&0xfff), nil
@@ -327,6 +329,7 @@ func (e *vtlbEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, er
 	// determine the cause, then the one-dimensional guest walk enabled
 	// by running on the VM's host page table (§5.3), and the shadow
 	// fill.
+	t0 := e.k.Now()
 	e.k.charge(cost.VMTransitCost(e.k.tagged()) + 6*cost.VMRead)
 	if !e.k.tagged() {
 		e.tlb().FlushAll()
@@ -366,6 +369,10 @@ func (e *vtlbEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, er
 	}
 	v.Shadow.Fills++
 	e.k.Stats.VTLBFills++
+	end := e.k.Now()
+	e.k.Tracer.Emit(e.k.cpu, end, trace.KindVTLBFill, uint64(va), uint64(end-t0), uint64(e.ec.ID), 0)
+	e.k.Tracer.ObserveVTLBFill(uint64(end - t0))
+	e.k.Tracer.CountVTLBMiss()
 	e.tlb().InsertSmall(e.tag(), va, hpa>>12, w.Writable && hostW, true, false)
 	return hpa, nil
 }

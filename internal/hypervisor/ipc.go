@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/trace"
 )
 
 // ipcPerWord is the marginal transfer cost per message word (§8.4:
@@ -45,6 +46,12 @@ func (k *Kernel) Call(caller *PD, sel cap.Selector, msg *UTCB) error {
 func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
 	k.Stats.IPCCalls++
 	k.Stats.IPCWords += uint64(words)
+	t0 := k.Now()
+	crossAS := uint64(0)
+	if pt.PD != from {
+		crossAS = 1
+	}
+	k.Tracer.Emit(k.cpu, t0, trace.KindIPCCall, pt.UID, uint64(words), crossAS, 0)
 
 	cost := hw.Cycles(portalLookupCost) + k.Plat.Cost.SyscallEntryExit/8 // portal traversal
 	cost += hw.Cycles(words * ipcPerWord)
@@ -107,6 +114,9 @@ func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
 		k.Stats.ContextSwitch++
 	}
 	k.charge(reply)
+	end := k.Now()
+	k.Tracer.Emit(k.cpu, end, trace.KindIPCReply, pt.UID, uint64(end-t0), crossAS, 0)
+	k.Tracer.ObserveIPC(uint64(end - t0))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -99,11 +100,21 @@ type Kernel struct {
 	// so the inner execution loops return to the scheduler.
 	preempt bool
 
-	// TraceExit, when set, observes every VM exit (reason, guest EIP,
-	// virtual time) in dispatch order. The determinism regression test
-	// hashes this trace: two runs from identical inputs must produce
-	// identical traces, not merely identical aggregate counts.
-	TraceExit func(ec *EC, reason x86.ExitReason, eip uint32, now hw.Cycles)
+	// Tracer, when set, observes kernel events (VM exits, IPC,
+	// scheduling, semaphores, vTLB maintenance) in dispatch order. All
+	// emission is nil-safe and never charges cycles: tracing must not
+	// perturb the simulation. The determinism regression test hashes
+	// the event rings: two runs from identical inputs must produce
+	// byte-identical traces, not merely identical aggregate counts.
+	Tracer *trace.Tracer
+
+	// Kernel-object identity counters: every PD, EC and semaphore gets
+	// a small dense id and every portal a uid, so trace events can name
+	// objects without carrying pointers.
+	nextPDID  int
+	nextECID  int
+	nextSemID int
+	nextPtUID uint64
 }
 
 type gsiRoute struct {
@@ -137,6 +148,7 @@ func New(plat *hw.Platform, cfg Config) *Kernel {
 
 	root := &PD{
 		Name: "root",
+		ID:   k.allocPDID(),
 		Caps: cap.NewSpace("root"),
 		Mem:  cap.NewMemSpace("root"),
 		IO:   cap.NewIOSpace("root"),
@@ -186,6 +198,42 @@ func New(plat *hw.Platform, cfg Config) *Kernel {
 
 	return k
 }
+
+// allocPDID/allocECID/allocSemID/allocPtUID hand out trace identities.
+func (k *Kernel) allocPDID() int     { id := k.nextPDID; k.nextPDID++; return id }
+func (k *Kernel) allocECID() int     { id := k.nextECID; k.nextECID++; return id }
+func (k *Kernel) allocSemID() int    { id := k.nextSemID; k.nextSemID++; return id }
+func (k *Kernel) allocPtUID() uint64 { id := k.nextPtUID; k.nextPtUID++; return id }
+
+// AttachTracer enables event tracing and metrics with one ring of the
+// given capacity per CPU, and returns the tracer for later rendering.
+// The recorded metadata carries the cost-model constants the
+// attribution pass needs to decompose measured durations.
+//
+// nocharge: observability plumbing; attaching the tracer models no
+// hardware work and must not move the clocks (zero-perturbation rule).
+func (k *Kernel) AttachTracer(capacity int) *trace.Tracer {
+	cost := k.Plat.Cost
+	meta := trace.Meta{
+		Model:            cost.Model.String(),
+		FreqMHz:          cost.FreqMHz,
+		VPID:             k.tagged(),
+		SyscallEntryExit: uint64(cost.SyscallEntryExit),
+		VMTransit:        uint64(cost.VMTransitCost(k.tagged())),
+		VMRead:           uint64(cost.VMRead),
+		TLBRefill:        uint64(cost.TLBRefill),
+		PageWalkLevel:    uint64(cost.PageWalkLevel),
+		CacheLineAccess:  uint64(cost.CacheLineAccess),
+		ExitReasons:      x86.ExitReasonNames(),
+		KindNames:        trace.KindNames(),
+	}
+	k.Tracer = trace.New(meta, len(k.Plat.CPUs), capacity)
+	return k.Tracer
+}
+
+// CurCPU returns the CPU whose run loop is active, for trace emission
+// from user-level components (VMM, servers) running on it.
+func (k *Kernel) CurCPU() int { return k.cpu }
 
 // clock returns the active CPU's clock.
 func (k *Kernel) clock() *hw.Clock { return &k.Plat.CPUs[k.cpu].Clock }
@@ -238,6 +286,7 @@ func (k *Kernel) syscallEnter(caller *PD) error {
 		return ErrVMNoHypercalls
 	}
 	k.Stats.Hypercalls++
+	k.Tracer.Emit(k.cpu, k.Now(), trace.KindHypercall, uint64(caller.ID), 0, 0, 0)
 	k.charge(k.Plat.Cost.SyscallEntryExit)
 	return nil
 }
@@ -252,6 +301,7 @@ func (k *Kernel) CreatePD(caller *PD, sel cap.Selector, name string, isVM bool) 
 	}
 	pd := &PD{
 		Name: name,
+		ID:   k.allocPDID(),
 		Caps: cap.NewSpace(name),
 		Mem:  cap.NewMemSpace(name),
 		IO:   cap.NewIOSpace(name),
@@ -276,7 +326,7 @@ func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name st
 	if cpu < 0 || cpu >= len(k.Plat.CPUs) {
 		return nil, ErrBadCPU
 	}
-	ec := &EC{Name: name, PD: pd, CPU: cpu, Kind: ECThread, UTCB: &UTCB{}, Run: run}
+	ec := &EC{Name: name, ID: k.allocECID(), PD: pd, CPU: cpu, Kind: ECThread, UTCB: &UTCB{}, Run: run}
 	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
 		return nil, err
 	}
@@ -298,7 +348,7 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 	if !vm.IsVM {
 		return nil, fmt.Errorf("hypervisor: %s is not a VM domain", vm.Name)
 	}
-	ec := &EC{Name: name, PD: vm, CPU: cpu, Kind: ECVCPU, UTCB: &UTCB{}}
+	ec := &EC{Name: name, ID: k.allocECID(), PD: vm, CPU: cpu, Kind: ECVCPU, UTCB: &UTCB{}}
 	v := &VCPU{Index: index}
 	v.State.Reset()
 	ic := x86.FullVirt()
@@ -347,7 +397,7 @@ func (k *Kernel) CreatePortal(caller *PD, sel cap.Selector, name string, id uint
 	if err := k.syscallEnter(caller); err != nil {
 		return nil, err
 	}
-	pt := &Portal{Name: name, PD: caller, ID: id, MTD: mtd, Handle: handle}
+	pt := &Portal{Name: name, PD: caller, ID: id, UID: k.allocPtUID(), MTD: mtd, Handle: handle}
 	if err := caller.Caps.Insert(sel, pt, cap.RightsAll); err != nil {
 		return nil, err
 	}
@@ -359,7 +409,7 @@ func (k *Kernel) CreateSemaphore(caller *PD, sel cap.Selector, name string, init
 	if err := k.syscallEnter(caller); err != nil {
 		return nil, err
 	}
-	sm := &Semaphore{Name: name, Counter: initial}
+	sm := &Semaphore{Name: name, ID: k.allocSemID(), Counter: initial}
 	if err := caller.Caps.Insert(sel, sm, cap.RightsAll); err != nil {
 		return nil, err
 	}
@@ -453,6 +503,7 @@ func (k *Kernel) Recall(caller *PD, ec *EC) error {
 		return fmt.Errorf("hypervisor: recall target %s is not a vCPU", ec.Name)
 	}
 	k.Stats.Recalls++
+	k.Tracer.Emit(k.cpu, k.Now(), trace.KindRecall, uint64(ec.ID), 0, 0, 0)
 	ec.VCPU.RecallPending = true
 	k.wakeVCPU(ec)
 	return nil
@@ -512,12 +563,14 @@ func (k *Kernel) SemUp(caller *PD, sm *Semaphore) error {
 // delivery.
 func (k *Kernel) semUp(sm *Semaphore) {
 	sm.Ups++
+	woken := uint64(0)
 	if len(sm.waiters) > 0 {
 		ec := sm.waiters[0]
 		sm.waiters = sm.waiters[1:]
 		ec.waitingOn = nil
 		if !ec.dead {
 			ec.runnable = true
+			woken = 1
 			if ec.SC != nil {
 				k.enqueue(ec.SC)
 				cur := k.current[k.cpu]
@@ -527,9 +580,10 @@ func (k *Kernel) semUp(sm *Semaphore) {
 				}
 			}
 		}
-		return
+	} else {
+		sm.Counter++
 	}
-	sm.Counter++
+	k.Tracer.Emit(k.cpu, k.Now(), trace.KindSemUp, uint64(sm.ID), woken, 0, 0)
 }
 
 // SemDown blocks the calling EC until the semaphore is available. In
@@ -541,10 +595,12 @@ func (k *Kernel) SemDownAsync(caller *PD, ec *EC, sm *Semaphore) bool {
 	sm.Downs++
 	if sm.Counter > 0 {
 		sm.Counter--
+		k.Tracer.Emit(k.cpu, k.Now(), trace.KindSemDown, uint64(sm.ID), 1, 0, 0)
 		return true // immediately acquired; EC keeps running
 	}
 	ec.runnable = false
 	ec.waitingOn = sm
 	sm.waiters = append(sm.waiters, ec)
+	k.Tracer.Emit(k.cpu, k.Now(), trace.KindSemDown, uint64(sm.ID), 0, 0, 0)
 	return false
 }

@@ -14,6 +14,8 @@ import (
 // spaces.
 type PD struct {
 	Name string
+	// ID is a small dense identity used by trace events.
+	ID int
 
 	Caps *cap.Space
 	Mem  *cap.MemSpace // HVA→HPA for applications, GPA→HPA for VMs
@@ -54,6 +56,8 @@ const (
 // EC is an execution context.
 type EC struct {
 	Name string
+	// ID is a small dense identity used by trace events.
+	ID   int
 	PD   *PD
 	CPU  int // physical CPU this EC is pinned to
 	Kind ECKind
@@ -101,6 +105,9 @@ type SC struct {
 	EC       *EC       // execution context attached to this SC
 
 	queued bool
+	// enqueuedAt is the virtual time the SC last entered its runqueue,
+	// for the scheduler-dispatch-latency trace metric.
+	enqueuedAt hw.Cycles
 }
 
 // ObjectType implements cap.Object.
@@ -115,7 +122,10 @@ type Portal struct {
 	Name string
 	PD   *PD // domain the portal leads into
 	ID   uint64
-	MTD  MTD
+	// UID is a kernel-wide unique identity used by trace events (ID is
+	// a caller-chosen protocol tag and not unique).
+	UID uint64
+	MTD MTD
 
 	// Handle is the handler EC's code: it receives the message UTCB,
 	// mutates it in place as the reply, and returns. It runs on the
@@ -144,7 +154,9 @@ func (p *Portal) String() string { return fmt.Sprintf("portal:%s", p.Name) }
 // Semaphore synchronizes ECs and delivers hardware interrupts to
 // user-level drivers (§5).
 type Semaphore struct {
-	Name    string
+	Name string
+	// ID is a small dense identity used by trace events.
+	ID      int
 	Counter int64
 	waiters []*EC
 

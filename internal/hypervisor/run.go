@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nova/internal/hw"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -64,6 +65,9 @@ func (k *Kernel) Run(until hw.Cycles) string {
 		}
 		k.current[k.cpu] = ec
 		k.preempt = false
+		wait := clk.Now() - sc.enqueuedAt
+		k.Tracer.Emit(k.cpu, clk.Now(), trace.KindSchedDispatch, uint64(ec.ID), uint64(sc.Priority), uint64(wait), 0)
+		k.Tracer.ObserveDispatch(uint64(wait))
 
 		switch ec.Kind {
 		case ECThread:
@@ -150,6 +154,7 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 				if v.Interp.Interruptible() {
 					if vec, ok := k.Plat.PIC.Acknowledge(); ok {
 						v.InjectedIRQs++
+						k.Tracer.Emit(k.cpu, clk.Now(), trace.KindInject, uint64(vec), uint64(ec.ID), 0, 0)
 						if err := v.Interp.Interrupt(vec); err != nil {
 							k.handleGuestRunError(ec, err)
 						}
@@ -195,6 +200,7 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 				v.State.Halted = false
 				k.Stats.Injections++
 				v.InjectedIRQs++
+				k.Tracer.Emit(k.cpu, clk.Now(), trace.KindInject, uint64(v.PendingVector), uint64(ec.ID), 0, 0)
 				k.charge(2 * cost.VMRead) // event-injection VMWRITEs
 				if err := v.Interp.Interrupt(v.PendingVector); err != nil {
 					k.handleGuestRunError(ec, err)

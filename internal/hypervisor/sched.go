@@ -81,5 +81,8 @@ func (k *Kernel) enqueue(sc *SC) {
 	if sc.EC != nil && sc.EC.dead {
 		return
 	}
+	if !sc.queued {
+		sc.enqueuedAt = k.Plat.CPUs[sc.EC.CPU].Clock.Now()
+	}
 	k.runq[sc.EC.CPU].push(sc)
 }

@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -33,9 +34,9 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	v := ec.VCPU
 	v.Exits[exit.Reason]++
 	k.Stats.VMExits[exit.Reason]++
-	if k.TraceExit != nil {
-		k.TraceExit(ec, exit.Reason, v.State.EIP, k.Now())
-	}
+	t0 := k.Now()
+	k.Tracer.Emit(k.cpu, t0, trace.KindVMExit, uint64(exit.Reason), uint64(v.State.EIP), uint64(ec.ID), 0)
+	k.Tracer.CountExit(exit.Reason)
 	cost := k.Plat.Cost
 
 	// World switch guest -> host (+ the TLB flush if untagged; the
@@ -49,6 +50,9 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	if v.Shadow != nil && k.handleVTLBExit(ec, exit) {
 		v.Env.FlushOnWorldSwitch()
 		k.charge(cost.VMTransitCost(k.tagged()) / 8) // resume tail
+		end := k.Now()
+		k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
+		k.Tracer.ObserveExit(uint64(end - t0))
 		return nil
 	}
 
@@ -98,6 +102,9 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 		v.WindowWanted = true
 	}
 	v.Env.FlushOnWorldSwitch()
+	end := k.Now()
+	k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
+	k.Tracer.ObserveExit(uint64(end - t0))
 	return nil
 }
 
@@ -120,18 +127,21 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 					v.Shadow.Flush()
 					tlb.FlushTag(ec.PD.Tag)
 					k.Stats.VTLBFlushes++
+					k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 0, uint64(ec.ID), 0, 0)
 				}
 			case 3:
 				v.State.CR3 = exit.CRVal
 				v.Shadow.Flush()
 				tlb.FlushTag(ec.PD.Tag)
 				k.Stats.VTLBFlushes++
+				k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 3, uint64(ec.ID), 0, 0)
 				k.charge(hw.Cycles(v.Shadow.Len()) / 4)
 			case 4:
 				v.State.CR4 = exit.CRVal
 				v.Shadow.Flush()
 				tlb.FlushTag(ec.PD.Tag)
 				k.Stats.VTLBFlushes++
+				k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 4, uint64(ec.ID), 0, 0)
 			case 2:
 				v.State.CR2 = exit.CRVal
 			}
@@ -157,6 +167,7 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 		k.charge(6 * cost.VMRead)
 		v.Shadow.Invalidate(exit.Linear)
 		tlb.FlushVA(ec.PD.Tag, exit.Linear)
+		k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 0xff, uint64(ec.ID), uint64(exit.Linear), 0)
 		v.State.EIP += uint32(exit.InstLen)
 		return true
 	default:
@@ -199,34 +210,42 @@ func (k *Kernel) handleHostInterrupts(guest *EC) {
 		}
 		k.Stats.HostInterrupts++
 		cost := k.Plat.Cost
+		t0 := k.Now()
+		preempted := ^uint64(0) // the kernel/idle loop was interrupted
 		if guest != nil {
+			preempted = uint64(guest.ID)
 			guest.VCPU.Exits[x86.ExitExternalInterrupt]++
 			k.Stats.VMExits[x86.ExitExternalInterrupt]++
-			if k.TraceExit != nil {
-				k.TraceExit(guest, x86.ExitExternalInterrupt, guest.VCPU.State.EIP, k.Now())
-			}
+			// The exit record carries the host vector and the preempted
+			// vCPU's identity, so external-interrupt exits are
+			// distinguishable from each other and from synchronous ones.
+			k.Tracer.Emit(k.cpu, t0, trace.KindVMExit, uint64(x86.ExitExternalInterrupt), uint64(guest.VCPU.State.EIP), uint64(guest.ID), uint64(vec))
+			k.Tracer.CountExit(x86.ExitExternalInterrupt)
 			k.charge(cost.VMTransitCost(k.tagged()))
 			guest.VCPU.Env.FlushOnWorldSwitch()
 		}
 		// Kernel interrupt path: vector dispatch, EOI at the PIC.
 		k.charge(cost.SyscallEntryExit / 2)
 		line := vectorToLine(vec)
+		k.Tracer.Emit(k.cpu, k.Now(), trace.KindHostIRQ, uint64(vec), uint64(int64(line)), preempted, 0)
 		if line >= 8 {
 			k.Plat.PIC.PortWrite(0xa0, 1, 0x20)
 		}
 		k.Plat.PIC.PortWrite(0x20, 1, 0x20)
-		if line < 0 {
-			continue
+		if line >= 0 {
+			if r, ok := k.gsiVCPU[line]; ok && !r.ec.dead {
+				v := r.ec.VCPU
+				v.PendingValid = true
+				v.PendingVector = r.vector
+				k.wakeVCPU(r.ec)
+			} else if sm, ok := k.gsiSem[line]; ok {
+				k.semUp(sm)
+			}
 		}
-		if r, ok := k.gsiVCPU[line]; ok && !r.ec.dead {
-			v := r.ec.VCPU
-			v.PendingValid = true
-			v.PendingVector = r.vector
-			k.wakeVCPU(r.ec)
-			continue
-		}
-		if sm, ok := k.gsiSem[line]; ok {
-			k.semUp(sm)
+		if guest != nil {
+			end := k.Now()
+			k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(x86.ExitExternalInterrupt), uint64(end-t0), uint64(guest.ID), 0)
+			k.Tracer.ObserveExit(uint64(end - t0))
 		}
 	}
 }

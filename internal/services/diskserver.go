@@ -13,6 +13,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/trace"
 )
 
 // Disk protocol operations (the Words[0] tag of a disk portal message).
@@ -50,6 +51,7 @@ type CompletionRecord struct {
 // completion ring and doorbell semaphore (§4.2: "device drivers use a
 // dedicated communication channel for each VMM").
 type diskClient struct {
+	id          uint64
 	name        string
 	pd          *hypervisor.PD
 	completions []CompletionRecord // the shared-memory ring
@@ -192,7 +194,7 @@ func (ds *DiskServer) initController() {
 func (ds *DiskServer) AddClient(clientPD *hypervisor.PD, name string, doorbell *hypervisor.Semaphore) (*hypervisor.Portal, uint64, error) {
 	ds.nextID++
 	id := ds.nextID
-	cl := &diskClient{name: name, pd: clientPD, doorbell: doorbell}
+	cl := &diskClient{id: id, name: name, pd: clientPD, doorbell: doorbell}
 	ds.clients[id] = cl
 	pt, err := ds.K.CreatePortal(ds.PD, ds.PD.Caps.AllocSel(), "disk-"+name, id, 0, func(msg *hypervisor.UTCB) error {
 		return ds.handleRequest(cl, msg)
@@ -336,6 +338,7 @@ func (ds *DiskServer) issue(slot int, cl *diskClient, req DiskRequest) {
 		}
 	}
 	ds.inflight[slot] = &pendingReq{client: cl, req: req}
+	ds.K.Tracer.Emit(ds.K.CurCPU(), ds.K.Now(), trace.KindDiskIssue, uint64(req.Op), req.LBA, uint64(req.Count), uint64(slot))
 	ds.mmioWrite(portCI, 1<<uint(slot))
 }
 
@@ -355,6 +358,11 @@ func (ds *DiskServer) handleIRQ() {
 		}
 		ds.inflight[slot] = nil
 		ok := is&(1<<30) == 0
+		okBit := uint64(0)
+		if ok {
+			okBit = 1
+		}
+		ds.K.Tracer.Emit(ds.K.CurCPU(), ds.K.Now(), trace.KindDiskDone, p.req.Cookie, okBit, p.client.id, 0)
 		p.client.completions = append(p.client.completions, CompletionRecord{Cookie: p.req.Cookie, OK: ok})
 		if ds.dmaDomain != nil {
 			for _, b := range p.req.Bufs {

@@ -6,6 +6,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/trace"
 )
 
 // NetServer owns the host network controller (§4: the user environment
@@ -172,6 +173,7 @@ func (ns *NetServer) handleIRQ() {
 		ns.Stats.Bytes += uint64(length)
 		ns.K.ChargeUser(hw.Cycles(200 + length/8)) // copy + bookkeeping
 
+		nDelivered := uint64(0)
 		for _, cl := range ns.clients {
 			if len(cl.queue) >= ns.MaxQueued {
 				ns.Stats.Dropped++
@@ -179,8 +181,10 @@ func (ns *NetServer) handleIRQ() {
 			}
 			cl.queue = append(cl.queue, pkt)
 			ns.Stats.Delivered++
+			nDelivered++
 			delivered[cl] = true
 		}
+		ns.K.Tracer.Emit(ns.K.CurCPU(), ns.K.Now(), trace.KindNetRX, uint64(length), nDelivered, 0, 0)
 
 		mem.Write8(descAddr+12, 0)    // clear status
 		ns.mmioWrite(0x2818, ns.head) // return the slot (RDT)

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"nova/internal/hw"
+	"nova/internal/x86"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(0, 4)
+	if r.Cap() != 4 || r.Len() != 0 || r.Overwritten() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d over=%d", r.Cap(), r.Len(), r.Overwritten())
+	}
+	for i := 0; i < 10; i++ {
+		r.push(hw.Cycles(100+i), KindPIO, uint64(i), 0, 0, 0)
+	}
+	if r.Len() != 4 {
+		t.Errorf("len after wrap = %d, want 4", r.Len())
+	}
+	if r.Overwritten() != 6 {
+		t.Errorf("overwritten = %d, want 6", r.Overwritten())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events() returned %d events", len(ev))
+	}
+	for i, e := range ev {
+		// Oldest-first, and the first surviving Seq equals Overwritten.
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.A0 != wantSeq || e.Time != hw.Cycles(100+6+i) {
+			t.Errorf("event %d = seq %d a0 %d time %d, want seq %d", i, e.Seq, e.A0, e.Time, wantSeq)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0, 0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", r.Cap())
+	}
+	r.push(1, KindPIO, 7, 0, 0, 0)
+	r.push(2, KindPIO, 8, 0, 0, 0)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].A0 != 8 || r.Overwritten() != 1 {
+		t.Errorf("events=%v overwritten=%d", ev, r.Overwritten())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11}, {1025, 11},
+		{1<<63 - 1, 63}, {1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The value must fall inside its own bucket's bounds.
+		lo, hi := BucketBounds(BucketIndex(c.v))
+		if c.v < lo || c.v > hi {
+			t.Errorf("value %d outside bucket bounds [%d, %d]", c.v, lo, hi)
+		}
+	}
+	// Buckets tile the full u64 range with no gaps or overlaps.
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("bucket 0 = [%d, %d], want [0, 0]", lo, hi)
+	}
+	prevHi := uint64(0)
+	for i := 1; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Errorf("bucket %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+		if i < NumBuckets-1 && hi < lo {
+			t.Errorf("bucket %d: hi %d < lo %d", i, hi, lo)
+		}
+		prevHi = hi
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{5, 0, 1000, 5} {
+		h.Observe(v)
+	}
+	if h.Count != 4 || h.Sum != 1010 || h.Min != 0 || h.Max != 1000 {
+		t.Errorf("count=%d sum=%d min=%d max=%d", h.Count, h.Sum, h.Min, h.Max)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[3] != 2 || h.Buckets[10] != 1 {
+		t.Errorf("buckets: %v", h.Buckets[:12])
+	}
+	if h.Mean() != 252.5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	d := h.Data()
+	if len(d.Buckets) != 3 {
+		t.Fatalf("Data() kept %d buckets, want 3 non-empty", len(d.Buckets))
+	}
+	if d.Buckets[1].Lo != 4 || d.Buckets[1].Hi != 7 || d.Buckets[1].Count != 2 {
+		t.Errorf("bucket for 5s: %+v", d.Buckets[1])
+	}
+}
+
+func TestCounterSetSortedOrder(t *testing.T) {
+	var c CounterSet
+	c.Add("zeta", 1)
+	c.Add("alpha", 2)
+	c.Add("mid", 3)
+	c.Add("alpha", 5)
+	if c.Len() != 3 || c.Get("alpha") != 7 || c.Get("absent") != 0 {
+		t.Errorf("len=%d alpha=%d", c.Len(), c.Get("alpha"))
+	}
+	var names []string
+	c.Each(func(name string, v uint64) { names = append(names, name) })
+	if !reflect.DeepEqual(names, []string{"alpha", "mid", "zeta"}) {
+		t.Errorf("iteration order %v", names)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, 1, KindVMExit, 1, 2, 3, 4)
+	tr.CountExit(x86.ExitReason(1))
+	tr.CountVTLBHit()
+	tr.CountVTLBMiss()
+	tr.Count("x", 1)
+	tr.ObserveIPC(1)
+	tr.ObserveDispatch(1)
+	tr.ObserveExit(1)
+	tr.ObserveVTLBFill(1)
+	if tr.Rings() != nil || tr.Events() != nil {
+		t.Error("nil tracer returned data")
+	}
+	if m := tr.MetricsData(); len(m.Exits) != 0 {
+		t.Error("nil tracer returned metrics")
+	}
+	if _, err := tr.WriteTo(nil); err == nil {
+		t.Error("nil tracer serialized without error")
+	}
+}
+
+func TestMergeEventsOrder(t *testing.T) {
+	tr := New(Meta{}, 2, 8)
+	tr.Emit(0, 10, KindPIO, 0, 0, 0, 0)
+	tr.Emit(1, 5, KindPIO, 1, 0, 0, 0)
+	tr.Emit(0, 20, KindPIO, 2, 0, 0, 0)
+	tr.Emit(1, 20, KindPIO, 3, 0, 0, 0)
+	// Out-of-range CPUs are dropped, not panics.
+	tr.Emit(2, 1, KindPIO, 9, 0, 0, 0)
+	tr.Emit(-1, 1, KindPIO, 9, 0, 0, 0)
+	var got []uint64
+	for _, e := range tr.Events() {
+		got = append(got, e.A0)
+	}
+	// Time order; CPU 0 before CPU 1 at equal times.
+	if !reflect.DeepEqual(got, []uint64{1, 0, 2, 3}) {
+		t.Errorf("merged order %v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	meta := Meta{
+		Model: "BLM", FreqMHz: 2670, VPID: true,
+		SyscallEntryExit: 124, VMTransit: 1016, VMRead: 44,
+		TLBRefill: 310, PageWalkLevel: 30, CacheLineAccess: 15,
+		ExitReasons: []string{"none", "io"},
+		KindNames:   KindNames(),
+	}
+	tr := New(meta, 2, 2)
+	tr.Emit(0, 100, KindVMExit, 1, 0x8000, 2, 0)
+	tr.Emit(0, 200, KindIPCReply, 4, 90, 1, 0)
+	tr.Emit(0, 300, KindVMResume, 1, 200, 2, 0) // wraps: drops the first
+	tr.Emit(1, 150, KindSemUp, 3, 1, 0, 0)
+	tr.CountExit(x86.ExitReason(1))
+	tr.Count("mmio.vahci", 7)
+	tr.ObserveIPC(90)
+	tr.ObserveVTLBFill(500)
+
+	b, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Meta, tr.Meta) {
+		t.Errorf("meta mismatch:\n got %+v\nwant %+v", d.Meta, tr.Meta)
+	}
+	if len(d.PerCPU) != 2 || len(d.PerCPU[0]) != 2 || len(d.PerCPU[1]) != 1 {
+		t.Fatalf("per-CPU shapes: %d/%d", len(d.PerCPU[0]), len(d.PerCPU[1]))
+	}
+	if d.Overwritten[0] != 1 || d.Overwritten[1] != 0 {
+		t.Errorf("overwritten = %v", d.Overwritten)
+	}
+	if !reflect.DeepEqual(d.PerCPU[0], tr.rings[0].Events()) {
+		t.Errorf("cpu0 events: got %+v want %+v", d.PerCPU[0], tr.rings[0].Events())
+	}
+	if d.Metrics.Exits[0].Count != 1 || d.Metrics.Counters[0].Name != "mmio.vahci" ||
+		d.Metrics.IPCLatency.Count != 1 || d.Metrics.VTLBFill.Sum != 500 {
+		t.Errorf("metrics: %+v", d.Metrics)
+	}
+	if !reflect.DeepEqual(d.Events(), tr.Events()) {
+		t.Error("merged events differ after round trip")
+	}
+
+	// Serialization is deterministic byte for byte.
+	b2, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("two encodings of the same tracer differ")
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	tr := New(Meta{Model: "K8"}, 1, 4)
+	tr.Emit(0, 1, KindPIO, 0, 0, 0, 0)
+	b, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode([]byte("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode(b[:len(b)-3]); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	if _, err := Decode(append(append([]byte{}, b...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	for cut := range []int{8, 10, 12} {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Errorf("prefix of %d bytes accepted", cut)
+		}
+	}
+}

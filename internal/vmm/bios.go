@@ -6,6 +6,7 @@ import (
 
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -95,6 +96,7 @@ func (m *VMM) biosCall(msg *hypervisor.UTCB) {
 	m.Stats.BIOSCalls++
 	vector := uint8(msg.State.EIP / 4)
 	st := &msg.State
+	m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindBIOSCall, uint64(vector), uint64(st.GPR[x86.EAX]>>8&0xff), 0, 0)
 	switch vector {
 	case 0x10:
 		m.bios10(st)

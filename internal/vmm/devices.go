@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"nova/internal/hypervisor"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -29,8 +30,11 @@ func (m *VMM) handleIO(msg *hypervisor.UTCB) error {
 	}
 	e := &msg.Exit
 	if e.In {
-		msg.State.SetReg(x86.EAX, e.Size, m.portRead(e.Port, e.Size))
+		val := m.portRead(e.Port, e.Size)
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindPIO, uint64(e.Port), 1, uint64(val), uint64(e.Size))
+		msg.State.SetReg(x86.EAX, e.Size, val)
 	} else {
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindPIO, uint64(e.Port), 0, uint64(e.OutVal), uint64(e.Size))
 		switch e.Port {
 		case BIOSTrapPort:
 			m.biosCall(msg)
@@ -105,7 +109,10 @@ func (m *VMM) portWrite(port uint16, size int, val uint32) {
 func (m *VMM) mmioRead(gpa uint64, size int) (uint32, bool) {
 	if m.vAHCI != nil && gpa >= VAHCIBase && gpa < VAHCIBase+0x1000 {
 		m.Stats.MMIO++
-		return m.vAHCI.MMIORead(uint32(gpa-VAHCIBase), size), true
+		val := m.vAHCI.MMIORead(uint32(gpa-VAHCIBase), size)
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindMMIO, gpa, 1, uint64(val), uint64(size))
+		m.K.Tracer.Count("mmio.vahci", 1)
+		return val, true
 	}
 	return 0, false
 }
@@ -114,6 +121,8 @@ func (m *VMM) mmioRead(gpa uint64, size int) (uint32, bool) {
 func (m *VMM) mmioWrite(gpa uint64, size int, val uint32) bool {
 	if m.vAHCI != nil && gpa >= VAHCIBase && gpa < VAHCIBase+0x1000 {
 		m.Stats.MMIO++
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindMMIO, gpa, 0, uint64(val), uint64(size))
+		m.K.Tracer.Count("mmio.vahci", 1)
 		m.vAHCI.MMIOWrite(uint32(gpa-VAHCIBase), size, val)
 		return true
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nova/internal/hypervisor"
+	"nova/internal/trace"
 	"nova/internal/x86"
 )
 
@@ -103,6 +104,7 @@ func (e *emuEnv) InvalidateTLB(st *x86.CPUState, all bool, va uint32) {}
 // handler for EPT-violation (MMIO) exits.
 func (m *VMM) emulate(msg *hypervisor.UTCB) error {
 	m.Stats.Emulated++
+	m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindEmulate, uint64(msg.State.EIP), 0, 0, 0)
 	m.K.ChargeUser(m.K.Plat.Cost.EmulateInstruction)
 
 	// The emulator is a full interpreter instance over the emulation

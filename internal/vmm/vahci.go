@@ -6,6 +6,7 @@ import (
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
 	"nova/internal/services"
+	"nova/internal/trace"
 )
 
 // VAHCIBase is the guest-physical base of the virtual AHCI controller's
@@ -201,6 +202,7 @@ func (a *VAHCI) issue(slot int) {
 		a.inflight |= 1 << uint(slot)
 		a.tfd |= 0x80
 		m.Stats.DiskRequests++
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindDiskRequest, uint64(op), lba, uint64(count), uint64(slot))
 		req := services.DiskRequest{Op: op, LBA: lba, Count: count, Bufs: bufs, Cookie: uint64(slot)}
 		msg := &hypervisor.UTCB{Words: services.EncodeRequest(&req)}
 		if err := m.K.Call(m.PD, m.diskPortalSel, msg); err != nil || len(msg.Words) == 0 || msg.Words[0] == 0 {
@@ -285,6 +287,11 @@ func (a *VAHCI) identify() []byte {
 func (m *VMM) handleDiskCompletions() {
 	m.K.ChargeUser(m.K.Plat.Cost.DeviceModelUpdate)
 	for _, rec := range m.Cfg.DiskServer.Completions(m.diskClientID) {
+		ok := uint64(0)
+		if rec.OK {
+			ok = 1
+		}
+		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindDiskComplete, rec.Cookie, ok, 0, 0)
 		m.vAHCI.Complete(int(rec.Cookie), rec.OK)
 	}
 }

@@ -169,3 +169,13 @@ func FullVirt() Intercepts {
 func VTLBVirt() Intercepts {
 	return Intercepts{HLT: true, IO: true, CPUID: true, MSR: true, CR: true, INVLPG: true}
 }
+
+// ExitReasonNames returns the reason-name table indexed by reason, for
+// self-describing trace metadata.
+func ExitReasonNames() []string {
+	names := make([]string, NumExitReasons)
+	for i := range names {
+		names[i] = ExitReason(i).String()
+	}
+	return names
+}
