@@ -209,6 +209,42 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.ReportMetric(float64(r.BM.Interp.InstRet-ret0)/float64(b.N), "guest-insts/op")
 }
 
+// BenchmarkStepHotLoop measures the interpreter Step loop with the
+// decoded-instruction cache enabled vs disabled. The two configurations
+// must produce bit-identical simulation results (enforced by
+// TestDecodeCacheABIdentity); only host ns/op may differ.
+func BenchmarkStepHotLoop(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"cached", false},
+		{"uncached", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			img := guest.MustBuild(guest.ComputeKernel(false, false, 0))
+			r, err := guest.NewRunner(guest.RunnerConfig{
+				Model: hw.BLM, Mode: guest.ModeNative, DisableDecodeCache: tc.disabled,
+			}, img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := make([]byte, 8)
+			binary.LittleEndian.PutUint32(params[0:], 1<<30)
+			binary.LittleEndian.PutUint32(params[4:], 64<<10)
+			r.WriteGuest(guest.ParamBase, params)
+			b.ResetTimer()
+			ret0 := r.BM.Interp.InstRet
+			for r.BM.Interp.InstRet-ret0 < uint64(b.N) {
+				if err := r.BM.Run(r.Clock().Now() + 1_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.BM.Interp.InstRet-ret0)/float64(b.N), "guest-insts/op")
+		})
+	}
+}
+
 // BenchmarkAssembler measures kernel image assembly.
 func BenchmarkAssembler(b *testing.B) {
 	for i := 0; i < b.N; i++ {

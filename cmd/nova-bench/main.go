@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nova/internal/bench"
@@ -18,11 +20,16 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"fig1|fig5|fig6|fig7|fig8|fig9|tab1|tab2|ablations|all")
+		"fig1|fig5|fig6|fig7|fig8|fig9|tab1|tab2|ablations|hostperf|all")
 	scaleName := flag.String("scale", "quick", "quick|full")
 	root := flag.String("root", ".", "repository root for the fig1 line count")
 	out := flag.String("out", "", "write results as JSON to this file (e.g. BENCH_quick.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	var sc bench.Scale
 	switch *scaleName {
@@ -49,7 +56,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %.1fs)\n\n", name, sw.Seconds())
+		sec := sw.Seconds()
+		report.SetHostSeconds(name, sec)
+		fmt.Printf("(%s finished in %.1fs)\n\n", name, sec)
 	}
 
 	run("fig1", func() error {
@@ -129,6 +138,17 @@ func main() {
 		fmt.Println(t)
 		return nil
 	})
+	run("hostperf", func() error {
+		t, err := bench.RunHostPerf(sc)
+		if err != nil {
+			return err
+		}
+		report.Add("hostperf", t)
+		fmt.Println(t)
+		return nil
+	})
+
+	stopProfiles()
 
 	if *out != "" {
 		b, err := report.JSON()
@@ -141,5 +161,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report: %s (%d experiments)\n", *out, len(report.Experiments))
+	}
+}
+
+// startProfiles begins host-side pprof profiling as requested and
+// returns the stop/flush function (idempotent). Profiles measure the
+// simulator process, never the simulated platform.
+func startProfiles(cpuFile, memFile string) func() {
+	var cf *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		cf = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cf != nil {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
 	}
 }

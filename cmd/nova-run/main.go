@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nova/internal/guest"
 	"nova/internal/hw"
@@ -42,7 +44,13 @@ func main() {
 	traceFile := flag.String("trace", "", "write the encoded event trace to this file (read it with nova-trace)")
 	metricsFile := flag.String("metrics", "", "write counters and histograms as JSON to this file")
 	traceCap := flag.Int("trace-capacity", 65536, "per-CPU event-ring capacity for -trace/-metrics")
+	decodeCache := flag.Bool("decode-cache", true, "host-side decoded-instruction cache (results are bit-identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	model, ok := models[*modelName]
 	if !ok {
@@ -54,7 +62,8 @@ func main() {
 	}
 
 	if *workload == "boot" {
-		runBoot(model, *image, *traceFile, *metricsFile, *traceCap)
+		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache)
+		stopProfiles()
 		return
 	}
 
@@ -78,7 +87,8 @@ func main() {
 	}
 
 	img := guest.MustBuild(opts)
-	cfg := guest.RunnerConfig{Model: model, Mode: mode, UseVPID: true, HostLargePages: true}
+	cfg := guest.RunnerConfig{Model: model, Mode: mode, UseVPID: true, HostLargePages: true,
+		DisableDecodeCache: !*decodeCache}
 	if withDisk && (mode == guest.ModeVirtEPT || mode == guest.ModeVirtVTLB) {
 		cfg.WithDiskServer = true
 	}
@@ -165,9 +175,49 @@ func writeTraceOutputs(tr *trace.Tracer, traceFile, metricsFile string) {
 	}
 }
 
+// startProfiles begins host-side pprof profiling as requested and
+// returns the stop/flush function. Profiles measure the simulator
+// process itself (ROADMAP: "run as fast as the hardware allows"), never
+// the simulated platform.
+func startProfiles(cpuFile, memFile string) func() {
+	var cf *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			fail("create cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("start cpu profile: %v", err)
+		}
+		cf = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cf != nil {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fail("create mem profile: %v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("write mem profile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}
+
 // runBoot performs the full BIOS boot path on a user-provided boot
 // sector (or a built-in demo that prints via INT 10h).
-func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int) {
+func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int, disableDecodeCache bool) {
 	var sector []byte
 	if imagePath != "" {
 		b, err := os.ReadFile(imagePath)
@@ -200,7 +250,7 @@ msg:
 	copy(padded, sector)
 
 	plat := hw.MustNewPlatform(hw.Config{Model: model, RAMSize: 128 << 20})
-	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true, DisableDecodeCache: disableDecodeCache})
 	root := services.NewRootPM(k)
 	ds, err := root.StartDiskServer()
 	if err != nil {

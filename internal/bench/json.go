@@ -13,15 +13,27 @@ type Report struct {
 	Experiments []Experiment `json:"experiments"`
 }
 
-// Experiment is one named result table.
+// Experiment is one named result table. HostSeconds is the host
+// wall-clock duration of the experiment run — a property of the machine
+// that ran the benchmark, never of the simulated platform.
 type Experiment struct {
-	Name  string `json:"name"`
-	Table *Table `json:"table"`
+	Name        string  `json:"name"`
+	Table       *Table  `json:"table"`
+	HostSeconds float64 `json:"host_seconds,omitempty"`
 }
 
 // Add appends one experiment's table to the report.
 func (r *Report) Add(name string, t *Table) {
 	r.Experiments = append(r.Experiments, Experiment{Name: name, Table: t})
+}
+
+// SetHostSeconds records the host duration of the named experiment.
+func (r *Report) SetHostSeconds(name string, sec float64) {
+	for i := range r.Experiments {
+		if r.Experiments[i].Name == name {
+			r.Experiments[i].HostSeconds = sec
+		}
+	}
 }
 
 // JSON serializes the report, indented, trailing newline included.

@@ -76,6 +76,11 @@ type RunnerConfig struct {
 	DisableDirectSwitch bool
 	DisableVTLBTrick    bool
 
+	// DisableDecodeCache turns off the interpreter's host-side
+	// decoded-instruction cache (all modes). Results must be
+	// bit-identical either way; see hypervisor.Config.
+	DisableDecodeCache bool
+
 	// TraceCapacity, when non-zero, attaches a tracer with per-CPU
 	// event rings of that many entries once the stack is built (so
 	// construction noise is excluded from the trace). Only meaningful
@@ -131,6 +136,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 	if cfg.Mode == ModeNative {
 		plat.Mem.WriteBytes(Entry, image)
 		r.BM = hypervisor.NewBareMetal(plat, Entry)
+		if cfg.DisableDecodeCache {
+			r.BM.Interp.Cache = nil
+		}
 		return r, nil
 	}
 
@@ -139,6 +147,7 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 		DisableMTDOpt:       cfg.DisableMTDOpt,
 		DisableDirectSwitch: cfg.DisableDirectSwitch,
 		DisableVTLBTrick:    cfg.DisableVTLBTrick,
+		DisableDecodeCache:  cfg.DisableDecodeCache,
 	})
 	r.K = k
 	r.Root = services.NewRootPM(k)
@@ -303,6 +312,16 @@ func (r *Runner) BusyFraction() float64 {
 		return 0
 	}
 	return float64(clk.Busy()) / float64(clk.Now())
+}
+
+// InstRet returns the total guest instructions the interpreter has
+// retired. It feeds host-performance metrics (guest MIPS) only; it is
+// not a simulated quantity.
+func (r *Runner) InstRet() uint64 {
+	if r.BM != nil {
+		return r.BM.Interp.InstRet
+	}
+	return r.VCPU().Interp.InstRet
 }
 
 // VCPU returns the vCPU of virtualized runs (nil for native).

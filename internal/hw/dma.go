@@ -47,6 +47,7 @@ func (d *directDMA) DMAWrite(dev DeviceID, addr uint64, b []byte) error {
 	if addr+uint64(len(b)) > d.mem.Size() {
 		return fmt.Errorf("hw: DMA write [%#x,%#x) beyond RAM", addr, addr+uint64(len(b)))
 	}
+	d.mem.touch(PhysAddr(addr), len(b))
 	copy(d.mem.RAM()[addr:], b)
 	return nil
 }

@@ -32,11 +32,17 @@ type mmioRegion struct {
 type Memory struct {
 	ram     []byte
 	regions []mmioRegion // sorted by base
+
+	// pageGen counts writes per 4 KiB RAM page. Host-side caches of
+	// derived page contents (the interpreter's decoded-code cache) key
+	// on it to detect staleness; it is pure host bookkeeping and never
+	// affects simulated behaviour or cycle accounting.
+	pageGen []uint64
 }
 
 // NewMemory allocates size bytes of physical RAM.
 func NewMemory(size uint64) *Memory {
-	return &Memory{ram: make([]byte, size)}
+	return &Memory{ram: make([]byte, size), pageGen: make([]uint64, (size+PageSize-1)/PageSize)}
 }
 
 // Size returns the amount of RAM in bytes.
@@ -71,6 +77,44 @@ func (m *Memory) MMIOAt(addr PhysAddr) (MMIOHandler, uint32, bool) {
 func (m *Memory) IsMMIO(addr PhysAddr) bool {
 	_, _, ok := m.MMIOAt(addr)
 	return ok
+}
+
+// touch bumps the write generation of every RAM page the write
+// [addr, addr+n) covers. Callers must have bounds-checked via checkRAM.
+func (m *Memory) touch(addr PhysAddr, n int) {
+	if n <= 0 {
+		return
+	}
+	first := uint64(addr) >> 12
+	last := (uint64(addr) + uint64(n) - 1) >> 12
+	for p := first; p <= last; p++ {
+		m.pageGen[p]++ // sanitized: callers checkRAM the full [addr, addr+n) range first
+	}
+}
+
+// overlapsMMIO reports whether [base, base+size) intersects any device
+// window.
+func (m *Memory) overlapsMMIO(base PhysAddr, size uint64) bool {
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].base+PhysAddr(m.regions[i].size) > base
+	})
+	return i < len(m.regions) && m.regions[i].base < base+PhysAddr(size)
+}
+
+// CodePage returns the RAM backing of the 4 KiB page containing addr
+// together with its current write generation, for host-side caches of
+// decoded code. It fails (ok=false) when the page is not plain RAM —
+// beyond the RAM size or overlapping a device window, where reads have
+// side effects and must go through the MMIO-routed access path.
+func (m *Memory) CodePage(addr PhysAddr) (data []byte, gen uint64, ok bool) {
+	base := addr &^ (PageSize - 1)
+	if uint64(base)+PageSize > uint64(len(m.ram)) {
+		return nil, 0, false
+	}
+	if m.overlapsMMIO(base, PageSize) {
+		return nil, 0, false
+	}
+	return m.ram[base : base+PageSize : base+PageSize], m.pageGen[base>>12], true
 }
 
 func (m *Memory) checkRAM(addr PhysAddr, n int) {
@@ -123,7 +167,8 @@ func (m *Memory) Write8(addr PhysAddr, v uint8) {
 		return
 	}
 	m.checkRAM(addr, 1)
-	m.ram[addr] = v // sanitized: checkRAM above panics on out-of-range physical access
+	m.pageGen[addr>>12]++ // sanitized: checkRAM above panics on out-of-range physical access
+	m.ram[addr] = v       // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write16 stores a little-endian 16-bit value.
@@ -133,6 +178,7 @@ func (m *Memory) Write16(addr PhysAddr, v uint16) {
 		return
 	}
 	m.checkRAM(addr, 2)
+	m.touch(addr, 2)
 	binary.LittleEndian.PutUint16(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
@@ -143,12 +189,14 @@ func (m *Memory) Write32(addr PhysAddr, v uint32) {
 		return
 	}
 	m.checkRAM(addr, 4)
+	m.touch(addr, 4)
 	binary.LittleEndian.PutUint32(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
 // Write64 stores a little-endian 64-bit value to RAM (not MMIO).
 func (m *Memory) Write64(addr PhysAddr, v uint64) {
 	m.checkRAM(addr, 8)
+	m.touch(addr, 8)
 	binary.LittleEndian.PutUint64(m.ram[addr:], v) // sanitized: checkRAM above panics on out-of-range physical access
 }
 
@@ -163,6 +211,7 @@ func (m *Memory) ReadBytes(addr PhysAddr, n int) []byte {
 // WriteBytes copies b into RAM at addr.
 func (m *Memory) WriteBytes(addr PhysAddr, b []byte) {
 	m.checkRAM(addr, len(b))
+	m.touch(addr, len(b))
 	copy(m.ram[addr:], b) // sanitized: checkRAM above panics on out-of-range physical access
 }
 

@@ -140,3 +140,83 @@ func TestIOPortsRouting(t *testing.T) {
 		t.Error("overlapping port map accepted")
 	}
 }
+
+// TestCodePageAndGenerations pins the decode-cache support contract:
+// CodePage hands out a read-only view of a RAM page with its current
+// write generation, and every write path — each store width, bulk
+// writes, DMA — bumps the generation of every page it touches.
+func TestCodePageAndGenerations(t *testing.T) {
+	m := NewMemory(1 << 20)
+	data, gen, ok := m.CodePage(0x1234)
+	if !ok {
+		t.Fatal("CodePage declined a plain RAM page")
+	}
+	if len(data) != int(PageSize) {
+		t.Fatalf("page view is %d bytes", len(data))
+	}
+	m.Write8(0x1080, 0x5a)
+	if data[0x80] != 0x5a {
+		t.Error("page view does not alias RAM")
+	}
+
+	gen0 := gen
+	check := func(what string, want uint64) {
+		t.Helper()
+		_, g, ok := m.CodePage(0x1000)
+		if !ok || g != gen0+want {
+			t.Errorf("after %s: gen = %d, want %d", what, g, gen0+want)
+		}
+	}
+	check("Write8", 1)
+	m.Write16(0x1100, 1)
+	check("Write16", 2)
+	m.Write32(0x1100, 1)
+	check("Write32", 3)
+	m.Write64(0x1100, 1)
+	check("Write64", 4)
+	m.WriteBytes(0x1100, []byte{1, 2, 3})
+	check("WriteBytes", 5)
+	if err := NewDirectDMA(m).DMAWrite(0, 0x1100, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	check("DMAWrite", 6)
+
+	// A write elsewhere must not disturb this page's generation.
+	m.Write32(0x5000, 7)
+	check("unrelated write", 6)
+
+	// A write spanning a page boundary bumps both pages.
+	_, gA, _ := m.CodePage(0x1000)
+	_, gB, _ := m.CodePage(0x2000)
+	m.Write32(0x1ffe, 0xffffffff)
+	_, gA2, _ := m.CodePage(0x1000)
+	_, gB2, _ := m.CodePage(0x2000)
+	if gA2 != gA+1 || gB2 != gB+1 {
+		t.Errorf("page-crossing write: gens %d→%d, %d→%d (want both +1)", gA, gA2, gB, gB2)
+	}
+}
+
+// TestCodePageDeclines checks the fast path is refused wherever reading
+// raw bytes would skip device semantics or fall off RAM.
+func TestCodePageDeclines(t *testing.T) {
+	m := NewMemory(1 << 20)
+	if err := m.MapMMIO("dev", 0x8000, 64, &testMMIO{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := m.CodePage(0x8010); ok {
+		t.Error("CodePage served a page overlapping an MMIO window")
+	}
+	// Any address in the same page is declined, even outside the window.
+	if _, _, ok := m.CodePage(0x8fff); ok {
+		t.Error("CodePage served the tail of an MMIO-overlapping page")
+	}
+	if _, _, ok := m.CodePage(PhysAddr(1 << 20)); ok {
+		t.Error("CodePage served a page beyond RAM")
+	}
+	if _, _, ok := m.CodePage(PhysAddr(1<<20 - 1)); !ok {
+		t.Error("CodePage declined the last full RAM page")
+	}
+	if _, _, ok := m.CodePage(0x9000); !ok {
+		t.Error("CodePage declined the page after the MMIO window")
+	}
+}

@@ -67,6 +67,22 @@ func (e *nativeEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, 
 	return w.PA, nil
 }
 
+// ExecPage implements x86.ExecPager: one translation of the fetch
+// address — charged exactly like the slow path's first byte fetch —
+// plus direct host access to the backing RAM page for the
+// decoded-instruction cache.
+func (e *nativeEnv) ExecPage(st *x86.CPUState, va uint32) ([]byte, uint64, uint64, error) {
+	pa, err := e.translate(st, va, false)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data, gen, ok := e.plat.Mem.CodePage(hw.PhysAddr(pa))
+	if !ok {
+		return nil, 0, 0, nil
+	}
+	return data, pa >> 12, gen, nil
+}
+
 func (e *nativeEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
 	if crossesPage(va, size) {
 		return splitRead(e, st, va, size, kind)
@@ -134,6 +150,7 @@ func NewBareMetal(plat *hw.Platform, entry uint32) *BareMetal {
 	b.State.EIP = entry
 	env := &nativeEnv{plat: plat}
 	b.Interp = x86.NewInterp(env, &b.State, x86.Intercepts{})
+	b.Interp.Cache = x86.NewDecodeCache()
 	b.Interp.TSC = func() uint64 { return uint64(plat.BootCPU().Clock.Now()) }
 	return b
 }

@@ -224,6 +224,23 @@ func (e *eptEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, err
 	return hpa, nil
 }
 
+// ExecPage implements x86.ExecPager: one translation of the fetch
+// address — charged, traced and faulting exactly like the slow path's
+// first byte fetch — plus direct host access to the backing RAM page for
+// the decoded-instruction cache. MMIO-backed pages are declined (nil
+// data) so fetch side effects stay on the MMIO-routed path.
+func (e *eptEnv) ExecPage(st *x86.CPUState, va uint32) ([]byte, uint64, uint64, error) {
+	hpa, err := e.translate(st, va, false)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data, gen, ok := e.k.Plat.Mem.CodePage(hw.PhysAddr(hpa))
+	if !ok {
+		return nil, 0, 0, nil
+	}
+	return data, hpa >> 12, gen, nil
+}
+
 func (e *eptEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {
 	if crossesPage(va, size) {
 		return splitRead(e, st, va, size, kind)
@@ -375,6 +392,21 @@ func (e *vtlbEnv) translate(st *x86.CPUState, va uint32, write bool) (uint64, er
 	e.k.Tracer.CountVTLBMiss()
 	e.tlb().InsertSmall(e.tag(), va, hpa>>12, w.Writable && hostW, true, false)
 	return hpa, nil
+}
+
+// ExecPage implements x86.ExecPager; see eptEnv.ExecPage. The vTLB
+// translate path emits fill traces and charges world-switch costs on
+// misses exactly as the slow path's first byte fetch would.
+func (e *vtlbEnv) ExecPage(st *x86.CPUState, va uint32) ([]byte, uint64, uint64, error) {
+	hpa, err := e.translate(st, va, false)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data, gen, ok := e.k.Plat.Mem.CodePage(hw.PhysAddr(hpa))
+	if !ok {
+		return nil, 0, 0, nil
+	}
+	return data, hpa >> 12, gen, nil
 }
 
 func (e *vtlbEnv) MemRead(st *x86.CPUState, va uint32, size int, kind x86.AccessKind) (uint32, error) {

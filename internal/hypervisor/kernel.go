@@ -62,6 +62,12 @@ type Config struct {
 	// without running on the VM's host page table (§5.3's trick): every
 	// guest level then costs an extra software GPA->HPA translation.
 	DisableVTLBTrick bool
+	// DisableDecodeCache turns off the host-side decoded-instruction
+	// cache of the guest interpreter. This is NOT an ablation: the
+	// cache must not change simulated cycles, traces or guest state by
+	// a single bit (the A/B determinism test runs both settings); the
+	// switch exists for that test and for debugging.
+	DisableDecodeCache bool
 }
 
 // Kernel is the microhypervisor instance for one platform.
@@ -364,6 +370,9 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 	}
 	v.Env = env
 	v.Interp = x86.NewInterp(env, &v.State, ic)
+	if !k.Cfg.DisableDecodeCache {
+		v.Interp.Cache = x86.NewDecodeCache()
+	}
 	v.Interp.TSC = func() uint64 { return uint64(k.Plat.CPUs[cpu].Clock.Now()) }
 	ec.VCPU = v
 	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {

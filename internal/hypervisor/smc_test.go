@@ -1,0 +1,58 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"nova/internal/x86"
+)
+
+// TestSelfModifyingCodeInvalidatesDecodeCache runs a guest that patches
+// an instruction in its own code page and immediately re-executes it.
+// The decoded-instruction cache must observe the write (via the physical
+// page's write generation) and re-decode: the patched instruction has to
+// execute, in both paging modes. A stale cached decode would leave the
+// first call's result in place.
+func TestSelfModifyingCodeInvalidatesDecodeCache(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode PagingMode
+	}{
+		{"ept", ModeEPT},
+		{"vtlb", ModeVTLB},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, Config{UseVPID: true})
+			// The subroutine at 0x7e00 is `mov ax, 0x1111; ret`, written
+			// below as raw bytes. The main program calls it (decoding and
+			// caching it), patches its immediate to 0x2222, and calls it
+			// again: both stores and the re-executed fetch hit the same
+			// physical code page.
+			code := x86.MustAssemble(`bits 16
+org 0x7c00
+	call 0x7e00
+	mov [0x600], ax
+	mov byte [0x7e01], 0x22
+	mov byte [0x7e02], 0x22
+	call 0x7e00
+	mov [0x604], ax
+	hlt`)
+			tv := makeVM(t, k, tc.mode, 64, code, 0x7c00, nil)
+			tv.writeGuest(0x7e00, []byte{0xb8, 0x11, 0x11, 0xc3}) // mov ax, 0x1111; ret
+			v := tv.ec.VCPU
+			if v.Interp.Cache == nil {
+				t.Fatal("decode cache not attached; the test would not exercise invalidation")
+			}
+			v.State.GPR[x86.ESP] = 0x7000
+			k.Run(k.Now() + 50_000_000)
+			if !v.State.Halted {
+				t.Fatalf("guest did not halt: %v", v.State.String())
+			}
+			if got := tv.readGuest32(0x600) & 0xffff; got != 0x1111 {
+				t.Errorf("first call: ax = %#x, want 0x1111", got)
+			}
+			if got := tv.readGuest32(0x604) & 0xffff; got != 0x2222 {
+				t.Errorf("after self-modification: ax = %#x, want 0x2222 (stale decode executed?)", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package x86
+
+// This file is host-side performance machinery only. Nothing in it may
+// influence simulated behaviour: the decoded-instruction cache and the
+// page-span fetcher exist so the interpreter's hot loop avoids re-doing
+// host work (per-byte Env.MemRead calls, instruction decode) whose
+// simulated cost is charged elsewhere. Virtual-cycle accounting, trace
+// output and guest-visible state must be bit-identical with the cache
+// attached or not; the determinism A/B test enforces this.
+
+// codePageSize is the unit of the decoded-instruction cache: one small
+// page, matching the granularity of address translation and of the
+// physical-memory write generations that invalidate cached decodes.
+const codePageSize = 4096
+
+// ExecPager is an optional Env extension providing direct host access to
+// the RAM page backing an instruction fetch. ExecPage must perform
+// exactly the translation work — cycle charges, TLB fills, trace events,
+// faults and exits — that a one-byte MemRead(va, AccessExec) would, and
+// additionally return the whole backing physical page as a raw slice,
+// a stable identifier for it (its physical page number), and the page's
+// current write generation.
+//
+// A nil data slice with a nil error means "no fast path" (the page is
+// MMIO-backed or otherwise not plain RAM); the interpreter then falls
+// back to fetching through MemRead, which is free of double charging
+// because the translation just performed is hit in the TLB.
+type ExecPager interface {
+	ExecPage(st *CPUState, va uint32) (data []byte, page uint64, gen uint64, err error)
+}
+
+// decodeKey identifies one cached code page: decoded instructions depend
+// on the page's bytes and on the code segment's default operand size.
+type decodeKey struct {
+	page  uint64
+	def32 bool
+}
+
+// decodedPage holds the decode results of one physical page, indexed by
+// page offset. Only instructions contained entirely within the page are
+// cached; gen is the physical page's write generation at fill time.
+type decodedPage struct {
+	gen   uint64
+	insts [codePageSize]*Inst
+}
+
+// decodeCacheMaxPages bounds host memory use. Overflow resets the whole
+// cache: dropping entries is always safe (they are re-decoded on demand)
+// and code working sets larger than this are rare.
+const decodeCacheMaxPages = 64
+
+// DecodeCache memoizes instruction decode per physical code page. It is
+// shared per vCPU and validated against physical-page write generations,
+// so guest stores into code pages (self-modifying code), VMM or BIOS
+// writes, and device DMA all invalidate stale decodes uniformly —
+// regardless of which virtual mapping the writes went through.
+type DecodeCache struct {
+	pages map[decodeKey]*decodedPage
+
+	// One-entry MRU memo: consecutive fetches overwhelmingly hit the
+	// same code page, and the map hash dominates the lookup otherwise.
+	lastKey decodeKey
+	last    *decodedPage
+}
+
+// NewDecodeCache returns an empty cache.
+func NewDecodeCache() *DecodeCache {
+	return &DecodeCache{pages: make(map[decodeKey]*decodedPage)}
+}
+
+// page returns the (fresh) decoded page for key, resetting it when the
+// backing page's write generation moved.
+func (c *DecodeCache) page(page uint64, def32 bool, gen uint64) *decodedPage {
+	key := decodeKey{page: page, def32: def32}
+	dp := c.last
+	if dp == nil || c.lastKey != key {
+		dp = c.pages[key]
+		if dp == nil {
+			if len(c.pages) >= decodeCacheMaxPages {
+				c.pages = make(map[decodeKey]*decodedPage, decodeCacheMaxPages)
+			}
+			dp = &decodedPage{gen: gen}
+			c.pages[key] = dp
+		}
+		c.lastKey, c.last = key, dp
+	}
+	if dp.gen != gen {
+		*dp = decodedPage{gen: gen}
+	}
+	return dp
+}
+
+// errPageSpill signals that a decode ran off the end of its code page;
+// the interpreter retries through the slow per-byte path, which handles
+// the next page's translation (and its faults and charges) properly.
+type errPageSpill struct{}
+
+func (errPageSpill) Error() string { return "x86: instruction fetch crossed a page boundary" }
+
+// pageFetcher feeds the decoder from a raw code-page slice.
+type pageFetcher struct {
+	data []byte
+	off  int
+}
+
+func (f *pageFetcher) FetchByte() (byte, error) {
+	if f.off >= len(f.data) {
+		return 0, errPageSpill{}
+	}
+	b := f.data[f.off]
+	f.off++
+	return b, nil
+}

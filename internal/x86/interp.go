@@ -27,11 +27,22 @@ type Interp struct {
 
 	// MSRs backs non-intercepted RDMSR/WRMSR.
 	MSRs map[uint32]uint64
+
+	// Cache, when set, memoizes instruction decode per physical code
+	// page. Host-side only: attaching or detaching it never changes
+	// simulated cycles, traces or guest state. It takes effect only
+	// when Env also implements ExecPager.
+	Cache *DecodeCache
+
+	// pager is Env's ExecPager extension, captured once at creation.
+	pager ExecPager
 }
 
 // NewInterp binds an interpreter to an environment and CPU state.
 func NewInterp(env Env, st *CPUState, ic Intercepts) *Interp {
-	return &Interp{Env: env, St: st, IC: ic, MSRs: make(map[uint32]uint64)}
+	ip := &Interp{Env: env, St: st, IC: ic, MSRs: make(map[uint32]uint64)}
+	ip.pager, _ = env.(ExecPager)
+	return ip
 }
 
 type execFetcher struct {
@@ -49,6 +60,52 @@ func (f *execFetcher) FetchByte() (byte, error) {
 	return byte(v), nil
 }
 
+// fetchDecode produces the instruction at CS:EIP — through the decoded-
+// instruction cache when the environment exposes direct code-page access
+// and a cache is attached, else by per-byte fetch through Env.MemRead.
+//
+// Charge identity: the fast path performs exactly one translation of the
+// fetch address, which is also what the slow path charges — only the
+// first byte's MemRead can miss the TLB; the remaining bytes of an
+// in-page fetch hit the translation just inserted, for free. Everything
+// else the fast path skips (per-byte MemRead calls, re-decode) is host
+// work with no simulated cost, so cycles, traces and faults are
+// bit-identical either way.
+func (ip *Interp) fetchDecode(st *CPUState) (*Inst, error) {
+	def32 := st.Seg[CS].Def32
+	if ip.Cache != nil && ip.pager != nil {
+		va := st.Seg[CS].Base + st.EIP
+		data, page, gen, err := ip.pager.ExecPage(st, va)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			off := int(va & (codePageSize - 1))
+			dp := ip.Cache.page(page, def32, gen)
+			if inst := dp.insts[off]; inst != nil {
+				return inst, nil
+			}
+			inst, err := Decode(&pageFetcher{data: data, off: off}, def32)
+			if err == nil {
+				dp.insts[off] = inst
+				return inst, nil
+			}
+			if _, spill := err.(errPageSpill); !spill {
+				// In-page decode outcome (the 15-byte limit): the slow
+				// path would read the same bytes and fail identically.
+				return nil, err
+			}
+			// The instruction crosses the page boundary: re-fetch through
+			// the environment so the next page's translation happens (and
+			// faults and charges) exactly as on the slow path. The first
+			// page's bytes re-read for free — their translation was just
+			// inserted into the TLB.
+		}
+	}
+	f := &execFetcher{ip: ip, pos: st.EIP}
+	return Decode(f, def32)
+}
+
 // Step fetches, decodes and executes one instruction (or a bounded burst
 // of REP iterations). It returns nil on normal progress, or *VMExit when
 // control must leave guest mode. Guest exceptions are delivered to the
@@ -58,11 +115,26 @@ func (ip *Interp) Step() error {
 	if st.Halted {
 		return nil // waiting for an interrupt; the run loop advances time
 	}
-	snapshot := *st
+	prevShadow := st.IntShadow
 	st.IntShadow = false
 
-	f := &execFetcher{ip: ip, pos: st.EIP}
-	inst, err := Decode(f, st.Seg[CS].Def32)
+	inst, err := ip.fetchDecode(st)
+	if err == nil && instNoFault(inst) {
+		// The instruction provably cannot fault, exit or error, so the
+		// rollback snapshot below is dead weight; skip the copy.
+		st.EIP += uint32(inst.Len)
+		if err := ip.exec(inst); err != nil {
+			// invariant: instNoFault admitted an instruction whose exec
+			// failed — a classification bug in the simulator itself,
+			// never reachable from guest input.
+			panic(fmt.Sprintf("x86: no-fault instruction %v failed: %v", inst, err))
+		}
+		ip.InstRet++
+		return nil
+	}
+
+	snapshot := *st
+	snapshot.IntShadow = prevShadow
 	if err == nil {
 		st.EIP += uint32(inst.Len)
 		err = ip.exec(inst)
