@@ -19,6 +19,7 @@ import (
 	"nova/internal/guest"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/prof"
 	"nova/internal/services"
 	"nova/internal/trace"
 	"nova/internal/vmm"
@@ -47,6 +48,8 @@ func main() {
 	decodeCache := flag.Bool("decode-cache", true, "host-side decoded-instruction cache (results are bit-identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
+	profFile := flag.String("prof", "", "write a virtual-time guest profile to this file (read it with nova-prof)")
+	profPeriod := flag.Uint64("prof-period", 10_000, "virtual cycles between profile samples for -prof")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
@@ -62,7 +65,8 @@ func main() {
 	}
 
 	if *workload == "boot" {
-		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache)
+		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache,
+			*profFile, *profPeriod)
 		stopProfiles()
 		return
 	}
@@ -97,6 +101,9 @@ func main() {
 			fail("-trace/-metrics require a virtualized mode (the tracer lives in the microhypervisor)")
 		}
 		cfg.TraceCapacity = *traceCap
+	}
+	if *profFile != "" {
+		cfg.ProfilePeriod = *profPeriod
 	}
 	r, err := guest.NewRunner(cfg, img)
 	if err != nil {
@@ -146,6 +153,26 @@ func main() {
 		fmt.Printf("console: %q\n", r.VMM.Console())
 	}
 	writeTraceOutputs(r.Tracer, *traceFile, *metricsFile)
+	if *profFile != "" {
+		b, err := r.EncodeProfile(hotSiteCode)
+		if err != nil {
+			fail("encode profile: %v", err)
+		}
+		writeProfile(*profFile, b, r.Prof)
+	}
+}
+
+// hotSiteCode is how many of the hottest addresses get their
+// instruction bytes captured into the profile for disassembly.
+const hotSiteCode = 64
+
+// writeProfile saves an encoded guest profile and prints a summary.
+func writeProfile(path string, b []byte, p *prof.Profiler) {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fail("write profile: %v", err)
+	}
+	fmt.Printf("profile: %s (%d samples, period %d cycles)\n",
+		path, p.TotalSamples(), p.Meta.Period)
 }
 
 // writeTraceOutputs saves the encoded trace and/or the metrics JSON.
@@ -217,7 +244,8 @@ func startProfiles(cpuFile, memFile string) func() {
 
 // runBoot performs the full BIOS boot path on a user-provided boot
 // sector (or a built-in demo that prints via INT 10h).
-func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int, disableDecodeCache bool) {
+func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int,
+	disableDecodeCache bool, profFile string, profPeriod uint64) {
 	var sector []byte
 	if imagePath != "" {
 		b, err := os.ReadFile(imagePath)
@@ -280,6 +308,9 @@ msg:
 	if traceFile != "" || metricsFile != "" {
 		tr = k.AttachTracer(traceCap)
 	}
+	if profFile != "" {
+		k.AttachProfiler(profPeriod, 65536)
+	}
 	k.Run(k.Now() + 500_000_000)
 	fmt.Printf("console: %q\n", m.Console())
 	fmt.Printf("BIOS calls: %d, VM exits: %d\n", m.Stats.BIOSCalls, m.EC.VCPU.TotalExits())
@@ -287,6 +318,15 @@ msg:
 		fmt.Printf("killed: %v\n", k.Killed)
 	}
 	writeTraceOutputs(tr, traceFile, metricsFile)
+	if profFile != "" {
+		read := k.ProfCodeReader(m.EC)
+		k.Prof.CaptureCode(hotSiteCode, read)
+		b, err := k.Prof.Encode()
+		if err != nil {
+			fail("encode profile: %v", err)
+		}
+		writeProfile(profFile, b, k.Prof)
+	}
 }
 
 func fail(format string, args ...any) {

@@ -17,6 +17,7 @@ var SimCriticalPackages = []string{
 	ModulePath + "/internal/x86",
 	ModulePath + "/internal/cap",
 	ModulePath + "/internal/trace",
+	ModulePath + "/internal/prof",
 }
 
 // EntryPointPackages hold the kernel and device-model entry points that

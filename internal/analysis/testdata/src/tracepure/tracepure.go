@@ -104,3 +104,45 @@ func (d *Device) step() Cycles {
 func (d *Device) BadEmitWallClock() {
 	d.tr.Emit(0, uint64(time.Now().UnixNano())) // want "reads the wall clock"
 }
+
+// Profiler mirrors prof.Profiler: trace-layer by type name.
+type Profiler struct {
+	clk    *Clock
+	counts map[uint32]uint64
+	keys   []uint32
+}
+
+// Tick records a sample without touching the simulation: fine.
+func (p *Profiler) Tick(now Cycles) { p.counts[uint32(now)]++ }
+
+// BadTickCharge advances virtual time while sampling.
+func (p *Profiler) BadTickCharge() { // want "charges simulated cycles"
+	p.clk.Charge(1)
+}
+
+// BadEncode serializes by ranging over a map: two identical runs
+// would emit differently ordered (non-byte-identical) profiles.
+func (p *Profiler) BadEncode() []uint64 {
+	var out []uint64
+	for k, v := range p.counts { // want "ranges over a map"
+		out = append(out, uint64(k)+v)
+	}
+	return out
+}
+
+// GoodEncode walks a sorted slice and uses the map only for lookup.
+func (p *Profiler) GoodEncode() []uint64 {
+	var out []uint64
+	for _, k := range p.keys {
+		out = append(out, p.counts[k])
+	}
+	return out
+}
+
+// Buf mirrors prof.Buf.
+type Buf struct{ n int }
+
+// BadDrainWallClock reads host time from the sample buffer.
+func (b *Buf) BadDrainWallClock() int64 { // want "reads the wall clock"
+	return time.Now().UnixNano()
+}

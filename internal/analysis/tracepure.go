@@ -6,23 +6,28 @@ import (
 )
 
 // Tracepure enforces the observability layer's zero-perturbation
-// contract (DESIGN.md §observability): recording a trace event must be
-// invisible to the simulation. Two rules:
+// contract (DESIGN.md §observability): recording a trace event or a
+// profile sample must be invisible to the simulation. Three rules:
 //
 //  1. Trace-layer functions — everything declared in a package named
-//     "trace", plus methods on the trace types (Tracer, Ring,
-//     Histogram, CounterSet) wherever they are declared — must not
-//     reach a cycle-charge sink (Clock.Charge, Kernel.charge/
-//     ChargeUser), a platform mutator (PortWrite, MMIOWrite, ...), or
-//     a wall-clock read (time.Now, ...). Reachability runs over the
-//     shared whole-program call graph, so indirection doesn't hide a
-//     violation.
+//     "trace" or "prof", plus methods on the trace types (Tracer,
+//     Ring, Histogram, CounterSet, Profiler, Buf) wherever they are
+//     declared — must not reach a cycle-charge sink (Clock.Charge,
+//     Kernel.charge/ChargeUser), a platform mutator (PortWrite,
+//     MMIOWrite, ...), or a wall-clock read (time.Now, ...).
+//     Reachability runs over the shared whole-program call graph, so
+//     indirection doesn't hide a violation.
 //
 //  2. Emission call sites: arguments of a call to a trace-type method
 //     must not contain nested calls that charge, mutate platform
 //     state, or read the wall clock — `tr.Emit(k.Now(), ...)` is the
 //     idiom; `tr.Emit(doWorkAndCharge(), ...)` would make the traced
 //     run diverge from the untraced one.
+//
+//  3. Trace-layer functions must not range over a map: encoded traces
+//     and profiles are compared byte-for-byte across runs, and map
+//     iteration order would make the encoding nondeterministic. Maps
+//     are fine as lookup indexes; emission must walk sorted slices.
 //
 // The analyzer is self-limiting (it only fires on trace-shaped code),
 // so the suite runs it over every package.
@@ -36,6 +41,7 @@ var Tracepure = &Analyzer{
 // matched by name so fixture packages can model them.
 var traceTypeNames = map[string]bool{
 	"Tracer": true, "Ring": true, "Histogram": true, "CounterSet": true,
+	"Profiler": true, "Buf": true,
 }
 
 func runTracepure(pass *Pass) {
@@ -70,6 +76,7 @@ func runTracepure(pass *Pass) {
 				if why := describe(fn); why != "" {
 					pass.Reportf(fd.Pos(), "trace-layer function %s %s (trace emission must be zero-perturbation)", fd.Name.Name, why)
 				}
+				reportMapRanges(pass, pkg, fd)
 			}
 
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -97,11 +104,30 @@ func runTracepure(pass *Pass) {
 	}
 }
 
+// reportMapRanges flags rule 3: a `for range` over a map anywhere in
+// the body of a trace-layer function.
+func reportMapRanges(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(rs.Pos(), "trace-layer function %s ranges over a map (iteration order makes the encoding nondeterministic; walk sorted slices)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
 // isTraceLayerFunc reports whether fn belongs to the trace layer: any
-// function in a package named "trace", or a method on one of the trace
-// types regardless of package.
+// function in a package named "trace" or "prof", or a method on one of
+// the trace types regardless of package.
 func isTraceLayerFunc(pkg *Package, fn *types.Func) bool {
-	if pkg.Types.Name() == "trace" {
+	if name := pkg.Types.Name(); name == "trace" || name == "prof" {
 		return true
 	}
 	return recvIsTraceType(fn)

@@ -61,6 +61,10 @@ type Table struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
 	Notes   []string   `json:"notes,omitempty"`
+	// Prof summarizes the experiment's guest profile, when its runs
+	// were profiled (zero-perturbation: the numbers in Rows are
+	// bit-identical either way).
+	Prof *ProfSummary `json:"prof,omitempty"`
 }
 
 func (t *Table) String() string {

@@ -6,6 +6,7 @@ import (
 
 	"nova/internal/guest"
 	"nova/internal/hw"
+	"nova/internal/prof"
 )
 
 // Fig5Row is one bar of Figure 5.
@@ -30,16 +31,19 @@ const (
 	hypervExtraPerExit = 12000
 )
 
-// runCompileConfig executes the compile workload under one configuration
-// and returns duration and total VM exits.
-func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool) (hw.Cycles, uint64, error) {
+// runCompileConfig executes the compile workload under one
+// configuration and returns duration, total VM exits, and the run's
+// guest profile (sampling is zero-perturbation, so the first two are
+// identical with and without it).
+func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool) (hw.Cycles, uint64, *prof.Data, error) {
 	img := guest.MustBuild(guest.CompileKernel(667))
 	if disk && (cfg.Mode == guest.ModeVirtEPT || cfg.Mode == guest.ModeVirtVTLB) {
 		cfg.WithDiskServer = true
 	}
+	cfg.ProfilePeriod = benchProfPeriod
 	r, err := guest.NewRunner(cfg, img)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	params := make([]byte, 24)
 	binary.LittleEndian.PutUint32(params[0:], uint32(sc.Slices))
@@ -55,13 +59,13 @@ func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool) (hw.Cycles, u
 	r.WriteGuest(guest.ParamBase, params)
 	cycles, err := r.RunUntilDone(1 << 40)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	var exits uint64
 	if v := r.VCPU(); v != nil {
 		exits = v.TotalExits()
 	}
-	return cycles, exits, nil
+	return cycles, exits, r.Prof.Data(), nil
 }
 
 // RunFig5 reproduces Figure 5: the kernel-compilation workload across
@@ -96,12 +100,14 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 	}
 
 	measured := map[string]Fig5Row{}
+	var profSum *ProfSummary
 	var nativeCycles hw.Cycles
 	for _, s := range intel {
-		cy, exits, err := runCompileConfig(sc, s.cfg, s.disk)
+		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk)
 		if err != nil {
 			return nil, nil, fmt.Errorf("fig5 %s/%s: %w", s.group, s.label, err)
 		}
+		mergeProf(&profSum, pd)
 		if s.label == "Native" {
 			nativeCycles = cy
 		}
@@ -143,10 +149,11 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 	}
 	var amdNative hw.Cycles
 	for _, s := range amd {
-		cy, exits, err := runCompileConfig(sc, s.cfg, s.disk)
+		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk)
 		if err != nil {
 			return nil, nil, fmt.Errorf("fig5 %s/%s: %w", s.group, s.label, err)
 		}
+		mergeProf(&profSum, pd)
 		if s.label == "Native" {
 			amdNative = cy
 		}
@@ -170,5 +177,6 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 	t.Notes = append(t.Notes,
 		"measured = full stack executed; modeled = NOVA measurement + per-exit penalty constants; anchor = paper value shown for context",
 		fmt.Sprintf("scale %q: %d timeslices of the synthetic compile (paper: full Linux build, ~470 s)", sc.Name, sc.Slices))
+	t.Prof = profSum
 	return t, rows, nil
 }

@@ -35,9 +35,11 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 		{Model: hw.BLM, Mode: guest.ModeVirtEPT, UseVPID: true, WithDiskServer: true},
 	}
 	var points []Fig6Point
+	var profSum *ProfSummary
 	img := guest.MustBuild(guest.DiskReadKernel())
 	for _, bs := range blockSizes {
 		for _, cfg := range modes {
+			cfg.ProfilePeriod = benchProfPeriod
 			r, err := guest.NewRunner(cfg, img)
 			if err != nil {
 				return nil, nil, err
@@ -65,6 +67,7 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 				p.ExitsPerRq = float64(v.TotalExits()) / float64(requests)
 				_ = v.Exits[x86.ExitEPTViolation]
 			}
+			mergeProf(&profSum, r.Prof.Data())
 			points = append(points, p)
 		}
 	}
@@ -86,5 +89,6 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 		"paper shape: utilization flat below 8K (request-rate bound), falling above (bandwidth bound);",
 		"direct assignment roughly doubles native utilization; full virtualization doubles it again (§8.2)",
 		"paper reference at 16K: native 3.7%, direct 7%; ~6 exits/request interrupt path + ~6 MMIO exits when virtualized")
+	t.Prof = profSum
 	return t, points, nil
 }

@@ -22,6 +22,17 @@ type Experiment struct {
 	HostSeconds float64 `json:"host_seconds,omitempty"`
 }
 
+// ProfSummary condenses an experiment's guest profile into the report:
+// how many virtual-time samples the runs recorded, and which guest
+// address was hottest (by sampled plus attributed cycles). It rides in
+// the JSON so the benchmark trajectory carries attribution — "vtlb got
+// slower AND the heat moved to the page-fault path" — not just totals.
+type ProfSummary struct {
+	Samples   uint64 `json:"samples"`
+	TopAddr   string `json:"top_addr"`
+	TopCycles uint64 `json:"top_cycles"`
+}
+
 // Add appends one experiment's table to the report.
 func (r *Report) Add(name string, t *Table) {
 	r.Experiments = append(r.Experiments, Experiment{Name: name, Table: t})

@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/prof"
 	"nova/internal/services"
 	"nova/internal/trace"
 	"nova/internal/vmm"
@@ -86,6 +87,16 @@ type RunnerConfig struct {
 	// construction noise is excluded from the trace). Only meaningful
 	// for the virtualized modes.
 	TraceCapacity int
+
+	// ProfilePeriod, when non-zero, attaches the virtual-time sampling
+	// profiler with one sample every that many virtual cycles. Works in
+	// every mode, native included. Zero-perturbation: cycle totals,
+	// traces and final state are bit-identical with profiling on or
+	// off.
+	ProfilePeriod uint64
+	// ProfileCapacity is the per-CPU sample-buffer capacity (default
+	// 65536 samples when ProfilePeriod is set).
+	ProfileCapacity int
 }
 
 // Runner executes one guest kernel under one configuration and exposes
@@ -108,6 +119,9 @@ type Runner struct {
 
 	// Tracer is the event tracer, set when Cfg.TraceCapacity > 0.
 	Tracer *trace.Tracer
+
+	// Prof is the sampling profiler, set when Cfg.ProfilePeriod > 0.
+	Prof *prof.Profiler
 
 	guestBase uint64
 }
@@ -138,6 +152,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 		r.BM = hypervisor.NewBareMetal(plat, Entry)
 		if cfg.DisableDecodeCache {
 			r.BM.Interp.Cache = nil
+		}
+		if cfg.ProfilePeriod > 0 {
+			r.Prof = r.BM.AttachProfiler(cfg.ProfilePeriod, profileCapacity(cfg))
 		}
 		return r, nil
 	}
@@ -229,7 +246,34 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 	if cfg.TraceCapacity > 0 {
 		r.Tracer = k.AttachTracer(cfg.TraceCapacity)
 	}
+	if cfg.ProfilePeriod > 0 {
+		r.Prof = k.AttachProfiler(cfg.ProfilePeriod, profileCapacity(cfg))
+	}
 	return r, nil
+}
+
+// profileCapacity applies the sample-buffer default.
+func profileCapacity(cfg RunnerConfig) int {
+	if cfg.ProfileCapacity > 0 {
+		return cfg.ProfileCapacity
+	}
+	return 65536
+}
+
+// EncodeProfile captures code bytes at the topN hottest addresses and
+// serializes the profile. Call it after the run finishes.
+func (r *Runner) EncodeProfile(topN int) ([]byte, error) {
+	if r.Prof == nil {
+		return nil, fmt.Errorf("guest: no profiler attached (set ProfilePeriod)")
+	}
+	if r.BM != nil {
+		read := r.BM.ProfCodeReader()
+		r.Prof.CaptureCode(topN, read)
+	} else if v := r.VMM; v != nil {
+		read := r.K.ProfCodeReader(v.EC)
+		r.Prof.CaptureCode(topN, read)
+	}
+	return r.Prof.Encode()
 }
 
 // NICVector is the guest interrupt vector of the passthrough NIC

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nova/internal/hw"
+	"nova/internal/prof"
 	"nova/internal/x86"
 )
 
@@ -16,6 +17,32 @@ type BareMetal struct {
 	Plat   *hw.Platform
 	State  x86.CPUState
 	Interp *x86.Interp
+
+	// Prof, when set, samples execution on the virtual-time grid (same
+	// zero-perturbation contract as the kernel's profiler).
+	Prof *prof.Profiler
+}
+
+// AttachProfiler enables virtual-time sampling on the native run.
+//
+// nocharge: observability plumbing; attaching the profiler models no
+// hardware work and must not move the clock (zero-perturbation rule).
+func (b *BareMetal) AttachProfiler(period uint64, capacity int) *prof.Profiler {
+	cost := b.Plat.Cost
+	meta := prof.Meta{Model: cost.Model.String(), FreqMHz: cost.FreqMHz}
+	b.Prof = prof.New(meta, len(b.Plat.CPUs), period, capacity)
+	read := profGuestReader(b.Plat.Mem, nil, &b.State)
+	clk := &b.Plat.BootCPU().Clock
+	b.Interp.StepHook = func() {
+		b.Prof.Tick(0, clk.Now(), prof.ModeGuest, profCtx(&b.State, read))
+	}
+	return b.Prof
+}
+
+// ProfCodeReader returns a pure byte reader over the OS's address
+// space, for Profiler.CaptureCode after a run.
+func (b *BareMetal) ProfCodeReader() func(uint32) (byte, bool) {
+	return profGuestByteReader(b.Plat.Mem, nil, &b.State)
 }
 
 // nativeEnv translates through the OS's own page tables (physical =
@@ -177,9 +204,11 @@ func (b *BareMetal) Run(until hw.Cycles) error {
 			t := b.Plat.Queue.NextTime()
 			if t > until {
 				clk.AdvanceTo(until)
+				b.Prof.SkipIdle(0, clk.Now())
 				return nil
 			}
 			clk.AdvanceTo(t)
+			b.Prof.SkipIdle(0, clk.Now())
 			continue
 		}
 		before := b.Interp.InstRet

@@ -6,6 +6,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/prof"
 	"nova/internal/trace"
 	"nova/internal/x86"
 )
@@ -113,6 +114,13 @@ type Kernel struct {
 	// the event rings: two runs from identical inputs must produce
 	// byte-identical traces, not merely identical aggregate counts.
 	Tracer *trace.Tracer
+
+	// Prof, when set, samples guest execution on the virtual-time grid
+	// and receives exact-cost attributions for VM exits, vTLB fills and
+	// emulated instructions. Same zero-perturbation contract as Tracer:
+	// all recording is nil-safe, charges nothing, and two profiled runs
+	// of the same workload must produce byte-identical profiles.
+	Prof *prof.Profiler
 
 	// Kernel-object identity counters: every PD, EC and semaphore gets
 	// a small dense id and every portal a uid, so trace events can name
@@ -375,6 +383,9 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 	}
 	v.Interp.TSC = func() uint64 { return uint64(k.Plat.CPUs[cpu].Clock.Now()) }
 	ec.VCPU = v
+	if k.Prof != nil {
+		k.attachProfHook(ec)
+	}
 	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
 		return nil, err
 	}

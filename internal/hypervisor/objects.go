@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/prof"
 	"nova/internal/x86"
 )
 
@@ -205,6 +206,11 @@ type VCPU struct {
 
 	// vTLB state (only used in shadow-paging mode).
 	Shadow *ShadowPT
+
+	// profRead is the host-side pure memory reader the profiler's
+	// stack walker uses for this vCPU (set when a profiler attaches;
+	// never touches guest-visible state).
+	profRead prof.MemReader
 }
 
 // TotalExits sums all exit reasons.

@@ -1,0 +1,217 @@
+package hypervisor
+
+// Profiler plumbing. Everything in this file is host-side observability
+// riding the same zero-perturbation contract as the tracer: no cycle
+// charges, no guest-visible state changes, no MMIO routing. The memory
+// readers handed to the profiler's stack walker therefore go through
+// hw.Memory.CodePage — the pure, bounds-checked, MMIO-declining window
+// onto RAM — and guest page-table walks run with setAD=false so no
+// accessed/dirty bits move.
+
+import (
+	"encoding/binary"
+
+	"nova/internal/hw"
+	"nova/internal/prof"
+	"nova/internal/x86"
+)
+
+// pureReadByte reads one byte of host-physical RAM with no side
+// effects; MMIO and out-of-range addresses decline.
+func pureReadByte(mem *hw.Memory, pa uint64) (byte, bool) {
+	data, _, ok := mem.CodePage(hw.PhysAddr(pa))
+	if !ok {
+		return 0, false
+	}
+	return data[pa&(hw.PageSize-1)], true
+}
+
+// pureRead32 reads a little-endian 32-bit word of host-physical RAM
+// with no side effects.
+func pureRead32(mem *hw.Memory, pa uint64) (uint32, bool) {
+	data, _, ok := mem.CodePage(hw.PhysAddr(pa))
+	if !ok {
+		return 0, false
+	}
+	off := pa & (hw.PageSize - 1)
+	if off+4 <= hw.PageSize {
+		return binary.LittleEndian.Uint32(data[off:]), true
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		b, ok := pureReadByte(mem, pa+i)
+		if !ok {
+			return 0, false
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, true
+}
+
+// profPhys adapts guest-physical space as x86.PhysMem for the
+// profiler's side-effect-free page-table walks. With pd nil, addresses
+// are host-physical already (bare metal).
+type profPhys struct {
+	mem *hw.Memory
+	pd  *PD
+}
+
+func (p profPhys) ReadPhys32(pa uint64) (uint32, bool) {
+	if p.pd != nil {
+		hpa, _, ok := hostTranslate(p.pd, pa)
+		if !ok {
+			return 0, false
+		}
+		pa = hpa
+	}
+	return pureRead32(p.mem, pa)
+}
+
+// WritePhys32 always declines: profiler walks run with setAD=false and
+// must stay read-only even if that ever changes.
+func (p profPhys) WritePhys32(pa uint64, v uint32) bool { return false }
+
+// profTranslate resolves a guest-virtual address to host-physical with
+// no side effects: a pure walk of the guest page tables (when paging is
+// on) followed by the domain's host translation. Any failure declines.
+func profTranslate(mem *hw.Memory, pd *PD, st *x86.CPUState, va uint32) (uint64, bool) {
+	pa := uint64(va)
+	if st.PagingEnabled() {
+		w, exc := x86.WalkGuest(profPhys{mem: mem, pd: pd}, st.CR3, st.CR4, va, false, false, false)
+		if exc != nil {
+			return 0, false
+		}
+		pa = w.PA
+	}
+	if pd != nil {
+		hpa, _, ok := hostTranslate(pd, pa)
+		if !ok {
+			return 0, false
+		}
+		pa = hpa
+	}
+	return pa, true
+}
+
+// profGuestReader builds the pure 32-bit guest-virtual memory reader
+// the profiler's EBP stack walker uses. pd nil means bare metal
+// (guest-physical = host-physical).
+func profGuestReader(mem *hw.Memory, pd *PD, st *x86.CPUState) prof.MemReader {
+	return func(va uint32) (uint32, bool) {
+		pa, ok := profTranslate(mem, pd, st, va)
+		if !ok {
+			return 0, false
+		}
+		return pureRead32(mem, pa)
+	}
+}
+
+// profGuestByteReader is the byte-granular variant, for post-run code
+// capture at hot addresses.
+func profGuestByteReader(mem *hw.Memory, pd *PD, st *x86.CPUState) func(uint32) (byte, bool) {
+	return func(va uint32) (byte, bool) {
+		pa, ok := profTranslate(mem, pd, st, va)
+		if !ok {
+			return 0, false
+		}
+		return pureReadByte(mem, pa)
+	}
+}
+
+// profCtx assembles the sampling context from a guest CPU state: the
+// linear instruction address, the frame-pointer chain anchors, and the
+// pure reader for the stack walk.
+func profCtx(st *x86.CPUState, read prof.MemReader) prof.GuestCtx {
+	return prof.GuestCtx{
+		RIP:       st.Seg[x86.CS].Base + st.EIP,
+		Def32:     st.Seg[x86.CS].Def32,
+		EBP:       st.GPR[x86.EBP],
+		StackBase: st.Seg[x86.SS].Base,
+		CodeBase:  st.Seg[x86.CS].Base,
+		Read:      read,
+	}
+}
+
+// attachProfHook installs the per-instruction sampling hook on a vCPU.
+// The hook fires before each instruction executes, so the sample lands
+// on the address about to run; virtually every invocation is a single
+// time comparison inside Tick.
+func (k *Kernel) attachProfHook(ec *EC) {
+	v := ec.VCPU
+	v.profRead = profGuestReader(k.Plat.Mem, ec.PD, &v.State)
+	cpu := ec.CPU
+	clk := &k.Plat.CPUs[cpu].Clock
+	v.Interp.StepHook = func() {
+		k.Prof.Tick(cpu, clk.Now(), prof.ModeGuest, profCtx(&v.State, v.profRead))
+	}
+}
+
+// profExit attributes one VM-exit window (exit to resume, cycles =
+// exact modeled cost) to the guest instruction that took the exit, and
+// gives the sampler a kernel-mode observation point so exit-handling
+// time lands in the profile under the faulting guest stack.
+func (k *Kernel) profExit(ec *EC, rip uint32, def32 bool, cycles hw.Cycles) {
+	if k.Prof == nil {
+		return
+	}
+	k.Prof.Attribute(prof.AttribExit, rip, def32, uint64(cycles))
+	g := profCtx(&ec.VCPU.State, ec.VCPU.profRead)
+	g.RIP, g.Def32 = rip, def32
+	k.Prof.Tick(k.cpu, k.Now(), prof.ModeKernel, g)
+}
+
+// profVTLBFill attributes one shadow-page-table fill to the guest
+// instruction whose access missed.
+func (k *Kernel) profVTLBFill(st *x86.CPUState, cycles hw.Cycles) {
+	if k.Prof == nil {
+		return
+	}
+	rip := st.Seg[x86.CS].Base + st.EIP
+	k.Prof.Attribute(prof.AttribVTLBFill, rip, st.Seg[x86.CS].Def32, uint64(cycles))
+}
+
+// ProfEmulate records one VMM-emulated instruction: exact-cost
+// attribution at the guest address plus an emulation-mode observation
+// point. Called by the VMM after it charges the emulation cost.
+//
+// nocharge: observability plumbing; the emulation work itself is
+// charged by the VMM through ChargeUser at the call site.
+func (k *Kernel) ProfEmulate(rip uint32, def32 bool, cycles hw.Cycles) {
+	if k.Prof == nil {
+		return
+	}
+	k.Prof.Attribute(prof.AttribEmulate, rip, def32, uint64(cycles))
+	k.Prof.Tick(k.cpu, k.Now(), prof.ModeEmulation, prof.GuestCtx{RIP: rip, Def32: def32})
+}
+
+// profServerTick gives the sampler an observation point after a server
+// EC ran; server samples carry the EC id in place of a code address.
+func (k *Kernel) profServerTick(ec *EC) {
+	k.Prof.Tick(k.cpu, k.Now(), prof.ModeServer, prof.GuestCtx{RIP: uint32(ec.ID)})
+}
+
+// AttachProfiler enables virtual-time sampling with one buffer of the
+// given capacity per CPU and a sampling grid of period cycles, and
+// returns the profiler for later encoding. Existing vCPUs get their
+// sampling hooks retrofitted; vCPUs created afterwards are hooked at
+// creation.
+//
+// nocharge: observability plumbing; attaching the profiler models no
+// hardware work and must not move the clocks (zero-perturbation rule).
+func (k *Kernel) AttachProfiler(period uint64, capacity int) *prof.Profiler {
+	cost := k.Plat.Cost
+	meta := prof.Meta{Model: cost.Model.String(), FreqMHz: cost.FreqMHz}
+	k.Prof = prof.New(meta, len(k.Plat.CPUs), period, capacity)
+	for _, ec := range k.ecs {
+		if ec.Kind == ECVCPU {
+			k.attachProfHook(ec)
+		}
+	}
+	return k.Prof
+}
+
+// ProfCodeReader returns a pure byte reader over ec's guest address
+// space, for Profiler.CaptureCode after a run.
+func (k *Kernel) ProfCodeReader(ec *EC) func(uint32) (byte, bool) {
+	return profGuestByteReader(k.Plat.Mem, ec.PD, &ec.VCPU.State)
+}

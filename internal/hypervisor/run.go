@@ -54,9 +54,11 @@ func (k *Kernel) Run(until hw.Cycles) string {
 			t := k.Plat.Queue.NextTime()
 			if t > until {
 				clk.AdvanceTo(until)
+				k.Prof.SkipIdle(k.cpu, clk.Now())
 				return "deadline"
 			}
 			clk.AdvanceTo(t)
+			k.Prof.SkipIdle(k.cpu, clk.Now())
 			continue
 		}
 		ec := sc.EC
@@ -78,6 +80,9 @@ func (k *Kernel) Run(until hw.Cycles) string {
 			}
 			if ec.WaitSem != nil && !ec.dead {
 				k.blockOnSem(ec, ec.WaitSem)
+			}
+			if k.Prof != nil {
+				k.profServerTick(ec)
 			}
 		case ECVCPU:
 			slice := sc.Left
@@ -221,9 +226,11 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 				t := k.Plat.Queue.NextTime()
 				if t > deadline {
 					clk.AdvanceTo(deadline)
+					k.Prof.SkipIdle(k.cpu, clk.Now())
 					return
 				}
 				clk.AdvanceTo(t)
+				k.Prof.SkipIdle(k.cpu, clk.Now())
 				continue
 			}
 			// HLT with nothing to deliver: the vCPU blocks until the

@@ -39,6 +39,16 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	k.Tracer.CountExit(exit.Reason)
 	cost := k.Plat.Cost
 
+	// Capture the faulting instruction's linear address before the
+	// VMM's reply can rewrite EIP: the profiler attributes the whole
+	// exit window to the instruction that took the exit.
+	var profRIP uint32
+	var profDef32 bool
+	if k.Prof != nil {
+		profRIP = v.State.Seg[x86.CS].Base + v.State.EIP
+		profDef32 = v.State.Seg[x86.CS].Def32
+	}
+
 	// World switch guest -> host (+ the TLB flush if untagged; the
 	// refill cost then emerges from subsequent misses).
 	k.charge(cost.VMTransitCost(k.tagged()))
@@ -53,6 +63,7 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 		end := k.Now()
 		k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
 		k.Tracer.ObserveExit(uint64(end - t0))
+		k.profExit(ec, profRIP, profDef32, end-t0)
 		return nil
 	}
 
@@ -105,6 +116,7 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	end := k.Now()
 	k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
 	k.Tracer.ObserveExit(uint64(end - t0))
+	k.profExit(ec, profRIP, profDef32, end-t0)
 	return nil
 }
 
@@ -212,8 +224,15 @@ func (k *Kernel) handleHostInterrupts(guest *EC) {
 		cost := k.Plat.Cost
 		t0 := k.Now()
 		preempted := ^uint64(0) // the kernel/idle loop was interrupted
+		var profRIP uint32
+		var profDef32 bool
 		if guest != nil {
 			preempted = uint64(guest.ID)
+			if k.Prof != nil {
+				st := &guest.VCPU.State
+				profRIP = st.Seg[x86.CS].Base + st.EIP
+				profDef32 = st.Seg[x86.CS].Def32
+			}
 			guest.VCPU.Exits[x86.ExitExternalInterrupt]++
 			k.Stats.VMExits[x86.ExitExternalInterrupt]++
 			// The exit record carries the host vector and the preempted
@@ -246,6 +265,7 @@ func (k *Kernel) handleHostInterrupts(guest *EC) {
 			end := k.Now()
 			k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(x86.ExitExternalInterrupt), uint64(end-t0), uint64(guest.ID), 0)
 			k.Tracer.ObserveExit(uint64(end - t0))
+			k.profExit(guest, profRIP, profDef32, end-t0)
 		}
 	}
 }

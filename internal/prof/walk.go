@@ -1,0 +1,52 @@
+package prof
+
+// WalkEBP performs a best-effort frame-pointer walk of a guest stack:
+// out[0] gets rip, then each saved-EBP/return-address pair reachable
+// through the EBP chain appends one caller frame, until the chain ends,
+// loops, leaves RAM, or out is full. The walk is purely advisory — the
+// guest owes us no frame pointers — so every termination condition is
+// a silent stop, never an error, and the reader contract guarantees no
+// guest-visible side effects regardless of what EBP points at.
+//
+// ebp and the stack slots it chains through are offsets within the
+// stack segment (read at stackBase+offset); return addresses are
+// offsets within the code segment (recorded as codeBase+offset), which
+// collapses to plain linear addresses in flat setups where both bases
+// are zero. The returned count is the number of frames written.
+func WalkEBP(rip, ebp, stackBase, codeBase uint32, read MemReader, out []uint32) int {
+	if len(out) == 0 {
+		return 0
+	}
+	out[0] = rip
+	n := 1
+	fp := ebp
+	for n < len(out) {
+		// A null or misaligned frame pointer ends the chain. The
+		// alignment test is heuristic: compilers keep EBP 4-aligned,
+		// and an unaligned value means EBP holds data, not a frame.
+		if fp == 0 || fp&3 != 0 {
+			break
+		}
+		ret, ok := read(stackBase + fp + 4)
+		if !ok {
+			break
+		}
+		next, ok := read(stackBase + fp)
+		if !ok {
+			break
+		}
+		if ret == 0 {
+			break
+		}
+		out[n] = codeBase + ret
+		n++
+		// Stacks grow down, so a genuine caller frame sits at a
+		// strictly higher address. Requiring monotonic progress also
+		// terminates any cycle in a corrupt chain.
+		if next <= fp {
+			break
+		}
+		fp = next
+	}
+	return n
+}

@@ -134,7 +134,7 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	writeSection(&buf, metaJSON)
+	WriteSection(&buf, metaJSON)
 
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(t.rings)))
@@ -162,7 +162,7 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	writeSection(&buf, metricsJSON)
+	WriteSection(&buf, metricsJSON)
 
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
@@ -190,7 +190,10 @@ func (t *Tracer) Hash() uint64 {
 	return h.Sum64()
 }
 
-func writeSection(buf *bytes.Buffer, b []byte) {
+// WriteSection appends one length-prefixed section (u32 LE length, then
+// the body) to buf. The framing is shared by the trace (NOVATRC1) and
+// profile (NOVAPRF1) file formats.
+func WriteSection(buf *bytes.Buffer, b []byte) {
 	var tmp [4]byte
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b)))
 	buf.Write(tmp[:])
@@ -215,7 +218,7 @@ func Decode(b []byte) (*TraceData, error) {
 	}
 	b = b[len(magic):]
 
-	metaJSON, b, err := readSection(b)
+	metaJSON, b, err := ReadSection(b)
 	if err != nil {
 		return nil, fmt.Errorf("trace: meta: %w", err)
 	}
@@ -261,7 +264,7 @@ func Decode(b []byte) (*TraceData, error) {
 		d.Overwritten = append(d.Overwritten, over)
 	}
 
-	metricsJSON, b, err := readSection(b)
+	metricsJSON, b, err := ReadSection(b)
 	if err != nil {
 		return nil, fmt.Errorf("trace: metrics: %w", err)
 	}
@@ -274,7 +277,9 @@ func Decode(b []byte) (*TraceData, error) {
 	return d, nil
 }
 
-func readSection(b []byte) (section, rest []byte, err error) {
+// ReadSection splits one length-prefixed section (as written by
+// WriteSection) off the front of b.
+func ReadSection(b []byte) (section, rest []byte, err error) {
 	if len(b) < 4 {
 		return nil, nil, fmt.Errorf("truncated section length")
 	}

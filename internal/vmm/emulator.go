@@ -106,6 +106,8 @@ func (m *VMM) emulate(msg *hypervisor.UTCB) error {
 	m.Stats.Emulated++
 	m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindEmulate, uint64(msg.State.EIP), 0, 0, 0)
 	m.K.ChargeUser(m.K.Plat.Cost.EmulateInstruction)
+	m.K.ProfEmulate(msg.State.Seg[x86.CS].Base+msg.State.EIP, msg.State.Seg[x86.CS].Def32,
+		m.K.Plat.Cost.EmulateInstruction)
 
 	// The emulator is a full interpreter instance over the emulation
 	// environment; guest state comes from (and returns to) the exit

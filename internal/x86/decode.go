@@ -125,6 +125,24 @@ type ByteFetcher interface {
 	FetchByte() (byte, error)
 }
 
+// BytesFetcher feeds the decoder from a plain byte slice, for decoding
+// instruction bytes captured outside a running guest (the profiler's
+// hot-site disassembly).
+type BytesFetcher struct {
+	Data []byte
+	off  int
+}
+
+// FetchByte implements ByteFetcher.
+func (f *BytesFetcher) FetchByte() (byte, error) {
+	if f.off >= len(f.Data) {
+		return 0, InstTooLongError{}
+	}
+	b := f.Data[f.off]
+	f.off++
+	return b, nil
+}
+
 // InstTooLongError reports an instruction exceeding the architectural
 // 15-byte limit.
 type InstTooLongError struct{}
