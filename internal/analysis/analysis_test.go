@@ -106,6 +106,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{Exhaustive, "exhaustive"},
 		{Taint, "taint"},
 		{Tracepure, "tracepure"},
+		{Globalstate, "globalstate"},
+		{Isolation, "isolation"},
+		{Concurrency, "concurrency"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The shared-state analyzers communicate with the code through three
+// comment annotations, each carrying a mandatory rationale:
+//
+//	// shared-ok: <why>     on a package-level var declaration — this
+//	                        mutable global is audited shared state
+//	                        (globalstate and isolation accept it);
+//	// shared: <why>        on a write site — this store is the audited
+//	                        cross-machine rendezvous (the simulated
+//	                        NIC/disk server channel); isolation accepts
+//	                        the single annotated line;
+//	// epoch-barrier: <why> on a function declaration — this function is
+//	                        part of the audited parallel-engine gate;
+//	                        concurrency primitives are allowed inside.
+//
+// The markers are substrings, so both `// shared-ok: reason` and a
+// longer sentence containing the marker work; an annotation without a
+// rationale is itself a finding (annotations are load-bearing audit
+// records, not switches).
+const (
+	markSharedOK     = "shared-ok:"
+	markSharedWrite  = "shared:"
+	markEpochBarrier = "epoch-barrier:"
+)
+
+// annotLines caches, per file and marker, the line numbers covered by a
+// matching comment (the comment's own lines, so both trailing and
+// line-above forms attach to the adjacent statement).
+type annotLines struct {
+	fset  *token.FileSet
+	cache map[*ast.File]map[string]map[int]bool
+}
+
+func newAnnotLines(fset *token.FileSet) *annotLines {
+	return &annotLines{fset: fset, cache: make(map[*ast.File]map[string]map[int]bool)}
+}
+
+func (a *annotLines) lines(f *ast.File, marker string) map[int]bool {
+	byMarker, ok := a.cache[f]
+	if !ok {
+		byMarker = make(map[string]map[int]bool)
+		a.cache[f] = byMarker
+	}
+	if lines, ok := byMarker[marker]; ok {
+		return lines
+	}
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		if !containsMarker(cg.Text(), marker) {
+			continue
+		}
+		start := a.fset.Position(cg.Pos()).Line
+		end := a.fset.Position(cg.End()).Line
+		for l := start; l <= end; l++ {
+			lines[l] = true
+		}
+	}
+	byMarker[marker] = lines
+	return lines
+}
+
+// covers reports whether pos's line (or the line above it) carries the
+// marker in its file.
+func (a *annotLines) covers(pkg *Package, pos token.Pos, marker string) bool {
+	f := fileOf(pkg, pos)
+	if f == nil {
+		return false
+	}
+	lines := a.lines(f, marker)
+	line := a.fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// containsMarker matches the marker anywhere in a comment's text. The
+// three markers are mutually non-overlapping substrings ("shared:"
+// requires the colon directly after "shared", which "shared-ok:" does
+// not have), so plain containment is exact.
+func containsMarker(text, marker string) bool {
+	return strings.Contains(text, marker)
+}
+
+// varSpecFor finds the ValueSpec and enclosing GenDecl declaring the
+// package-level var v, or nils.
+func varSpecFor(pkg *Package, v *types.Var) (*ast.GenDecl, *ast.ValueSpec) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if pkg.Info.Defs[name] == v {
+						return gd, vs
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// varAnnotated reports whether v's declaration carries the marker, in
+// the spec's doc comment, its trailing comment, or the var block's doc.
+func varAnnotated(pkg *Package, v *types.Var, marker string) bool {
+	gd, vs := varSpecFor(pkg, v)
+	if vs == nil {
+		return false
+	}
+	for _, cg := range []*ast.CommentGroup{vs.Doc, vs.Comment, gd.Doc} {
+		if cg != nil && containsMarker(cg.Text(), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether fd's doc comment carries the marker.
+func funcAnnotated(fd *ast.FuncDecl, marker string) bool {
+	return fd.Doc != nil && containsMarker(fd.Doc.Text(), marker)
+}

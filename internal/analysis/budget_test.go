@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"testing"
+
+	"nova/internal/walltime"
+)
+
+// suiteBudgetSeconds bounds the full-repository suite run. The gate
+// runs on every test invocation and before every commit; if it cannot
+// stay fast it will be bypassed. The current run (load + type-check +
+// call graph + effect fixpoint + ten analyzers) takes a few seconds;
+// the bound leaves an order of magnitude of headroom for slow CI
+// machines while still catching a fixpoint that stops converging.
+const suiteBudgetSeconds = 60.0
+
+// TestSuiteRuntimeBudget asserts the analyzer gate stays affordable.
+func TestSuiteRuntimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo suite run")
+	}
+	sw := walltime.Start()
+	diags, err := RunSuite(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := sw.Seconds()
+	t.Logf("suite: %d finding(s) in %.2fs", len(diags), elapsed)
+	if elapsed > suiteBudgetSeconds {
+		t.Errorf("full suite took %.1fs, budget is %.0fs — an analyzer fixpoint is likely diverging", elapsed, suiteBudgetSeconds)
+	}
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadEffectsFixture loads the hand-built mini program and computes its
+// effect summaries.
+func loadEffectsFixture(t *testing.T) (*Program, *Effects) {
+	t.Helper()
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", "effects")
+	prog, err := LoadDirs(root, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.Effects()
+}
+
+// summaryByName finds the summary of the (unique) function or method
+// with the given bare name in the fixture.
+func summaryByName(t *testing.T, eff *Effects, name string) *EffectSummary {
+	t.Helper()
+	var found *EffectSummary
+	for fn, s := range eff.Summaries {
+		if fn.Name() != name {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("fixture has two functions named %s", name)
+		}
+		found = s
+	}
+	if found == nil {
+		t.Fatalf("no summary for fixture function %s", name)
+	}
+	return found
+}
+
+// regionStrings renders a summary's write regions for comparison.
+func regionStrings(s *EffectSummary) []string {
+	var out []string
+	for _, r := range s.WriteRegions() {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+// retStrings renders a summary's return-alias sets for comparison.
+func retStrings(s *EffectSummary) []string {
+	var out []string
+	for i, set := range s.Rets {
+		for _, r := range set.sortedRegions() {
+			out = append(out, fmt.Sprintf("r%d=%s", i, r.String()))
+		}
+	}
+	return out
+}
+
+// TestEffectSummaries pins the engine's output on the mini program:
+// which regions each function writes and what its results alias. This
+// is the contract globalstate and isolation build on.
+func TestEffectSummaries(t *testing.T) {
+	_, eff := loadEffectsFixture(t)
+	cases := []struct {
+		fn     string
+		writes []string // Region.String() values, sorted
+		rets   []string // "r<i>=<region>" values
+	}{
+		{"SetReg", []string{"receiver"}, nil},
+		{"Fill", []string{"param#1"}, nil},
+		{"Bump", []string{"global Counter"}, nil},
+		{"BufAlias", nil, []string{"r0=global Buf"}},
+		{"WriteThroughAlias", []string{"global Buf"}, nil},
+		{"CopyOut", nil, nil}, // scalar copies sever aliasing
+		{"AddrOfCounter", nil, []string{"r0=global Counter"}},
+		{"WriteViaPointer", []string{"global Counter"}, nil},
+		// Step writes nothing itself; every region is mapped through a
+		// call site: receiver via SetReg, param#0 via Fill, the global
+		// via Bump.
+		{"Step", []string{"receiver", "param#0", "global Counter"}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			s := summaryByName(t, eff, tc.fn)
+			got := regionStrings(s)
+			want := append([]string{}, tc.writes...)
+			sort.Strings(got)
+			sort.Strings(want)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("writes of %s = [%s], want [%s]", tc.fn, strings.Join(got, ","), strings.Join(want, ","))
+			}
+			gotRets := retStrings(s)
+			wantRets := append([]string{}, tc.rets...)
+			sort.Strings(gotRets)
+			sort.Strings(wantRets)
+			if strings.Join(gotRets, ",") != strings.Join(wantRets, ",") {
+				t.Errorf("rets of %s = [%s], want [%s]", tc.fn, strings.Join(gotRets, ","), strings.Join(wantRets, ","))
+			}
+		})
+	}
+}
+
+// TestEffectWritePaths checks the interprocedural attribution: a mapped
+// write keeps the original store site and records the call chain.
+func TestEffectWritePaths(t *testing.T) {
+	prog, eff := loadEffectsFixture(t)
+	step := summaryByName(t, eff, "Step")
+	var counter *types.Var
+	for r := range step.Writes {
+		if r.Kind == RegionGlobal && r.Global.Name() == "Counter" {
+			counter = r.Global
+		}
+	}
+	if counter == nil {
+		t.Fatal("Step has no write effect on Counter")
+	}
+	w := step.WritesGlobal(counter)
+	if w.Direct {
+		t.Error("Step's Counter write should be mapped, not direct")
+	}
+	if len(w.Path) != 2 || !strings.Contains(w.Path[0], "Bump") || !strings.Contains(w.Path[1], "Step") {
+		t.Errorf("Counter write path = %v, want [Bump, Step]", w.Path)
+	}
+	pos := prog.Fset.Position(w.Pos)
+	if filepath.Base(pos.Filename) != "effects.go" {
+		t.Errorf("write site file = %s, want effects.go", pos.Filename)
+	}
+	// The representative site must be the actual store in Bump.
+	bump := summaryByName(t, eff, "Bump")
+	bw := bump.WritesGlobal(counter)
+	if bw == nil || !bw.Direct {
+		t.Fatal("Bump's Counter write should be direct")
+	}
+	if bw.Pos != w.Pos {
+		t.Error("mapped write should keep the original store site")
+	}
+}

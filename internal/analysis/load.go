@@ -39,6 +39,7 @@ type Program struct {
 
 	byPath map[string]*Package
 	cg     *CallGraph // built lazily by CallGraph()
+	eff    *Effects   // built lazily by Effects()
 }
 
 // Package returns the loaded package with the given import path, or nil.

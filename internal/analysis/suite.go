@@ -40,8 +40,11 @@ func DefaultSuite() []SuiteEntry {
 	return []SuiteEntry{
 		{Capcheck, nil}, // self-limiting: only fires on hypercall-shaped Kernel methods
 		{Chargecheck, EntryPointPackages},
+		{Concurrency, SimCriticalPackages},
 		{Determinism, SimCriticalPackages},
 		{Exhaustive, SimCriticalPackages},
+		{Globalstate, SimCriticalPackages},
+		{Isolation, SimCriticalPackages},
 		{Nopanic, SimCriticalPackages},
 		{Taint, SimCriticalPackages},
 		{Tracepure, nil}, // self-limiting: only fires on trace-shaped code

@@ -1,0 +1,64 @@
+// Package fixture seeds concurrency violations for the concurrency
+// analyzer tests, plus the epoch-barrier escape hatch.
+package fixture
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Machine carries latent concurrency in a field type: a mutex in
+// per-machine state is still host synchronization.
+type Machine struct {
+	mu    sync.Mutex // want "sync/atomic use sync.Mutex"
+	count int64
+}
+
+// BadGo spawns a goroutine outside the gate.
+func BadGo() {
+	go func() {}() // want "go statement in sim-critical package"
+}
+
+// BadChannels exercises every channel operation form.
+func BadChannels(ch chan int) {
+	ch <- 1               // want "channel send"
+	<-ch                  // want "channel receive"
+	close(ch)             // want "channel close"
+	ch2 := make(chan int) // want "channel construction"
+	select {              // want "select statement"
+	case <-ch2: // want "channel receive"
+	default:
+	}
+	for range ch { // want "range over channel"
+	}
+}
+
+// BadSync locks and atomically updates outside the gate.
+func BadSync(m *Machine) {
+	m.mu.Lock()                  // want "sync/atomic use sync.Lock"
+	atomic.AddInt64(&m.count, 1) // want "sync/atomic use atomic.AddInt64"
+	m.mu.Unlock()                // want "sync/atomic use sync.Unlock"
+}
+
+// BadSched lets the host scheduler into the simulation.
+func BadSched() {
+	runtime.Gosched()            // want "scheduling call runtime.Gosched"
+	time.Sleep(time.Millisecond) // want "scheduling call time.Sleep"
+}
+
+// RunEpoch runs one parallel epoch over the machines and joins before
+// any state is read back; it is the audited layer.
+// epoch-barrier: workers are strictly join-before-read, audited with the parallel engine design.
+func RunEpoch(ms []*Machine) {
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			atomic.AddInt64(&m.count, 1)
+		}(m)
+	}
+	wg.Wait()
+}

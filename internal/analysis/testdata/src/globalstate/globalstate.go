@@ -1,0 +1,47 @@
+// Package fixture seeds shared-state violations for the globalstate
+// analyzer tests: mutable globals, init-only tables, consts in waiting,
+// accessor-aliased writes and the shared-ok escape hatch.
+package fixture
+
+// MutableCounter is written at runtime by an exported function.
+var MutableCounter int // want "package-level var MutableCounter is written after init"
+
+// exitTable is only ever filled during package initialization — both
+// directly in init and through a helper reachable only from init — so
+// it is an accepted init-only table.
+var exitTable = map[int]string{}
+
+func init() {
+	exitTable[0] = "ok"
+	fillTable()
+}
+
+// fillTable is unexported and called only from init, so its write is
+// init-only too.
+func fillTable() {
+	exitTable[1] = "fault"
+}
+
+// DeviceID is never written and has basic type: a const in waiting.
+var DeviceID = 0x1f2 // want "package-level var DeviceID is never written; declare it const"
+
+// Registry is audited shared state.
+var Registry = map[string]int{} // shared-ok: cross-machine service registry, audited with the epoch design
+
+// Bump writes both; only the unannotated one is a finding.
+func Bump() {
+	MutableCounter++
+	Registry["bump"] = 1
+}
+
+// names leaks its backing store through an accessor; the aliased write
+// in Rename must still be attributed to it.
+var names = []string{"timer", "serial"} // want "package-level var names is written after init"
+
+// Names hands out the live backing slice.
+func Names() []string { return names }
+
+// Rename writes the global through the accessor's result.
+func Rename(i int, s string) {
+	Names()[i] = s
+}

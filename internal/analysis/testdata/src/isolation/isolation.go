@@ -1,0 +1,69 @@
+// Package fixture seeds machine-isolation violations for the isolation
+// analyzer tests: the step roots are modeled by receiver-type+method
+// name (Kernel.Run, VMM.handleExit), exactly how the analyzer matches
+// the real ones.
+package fixture
+
+// exitCount couples every machine in the process when written on the
+// step path.
+var exitCount int
+
+// sharedLog is audited shared state; writes to it are accepted
+// everywhere.
+var sharedLog []string // shared-ok: audited cross-machine debug log
+
+// netPipe is the cross-machine rendezvous; only its one annotated store
+// is accepted.
+var netPipe [][]byte
+
+// exitTotal is the second machine root's coupling global.
+var exitTotal int
+
+// Kernel models the per-machine hypervisor kernel.
+type Kernel struct {
+	cycles uint64
+	buf    []byte
+}
+
+// Run is the per-machine step root.
+func (k *Kernel) Run() {
+	k.cycles++ // receiver write: confined by construction
+	k.step()
+}
+
+func (k *Kernel) step() {
+	exitCount++ // want "write to package-level var exitCount on the isolation.Kernel.Run step path"
+	sharedLog = append(sharedLog, "exit")
+	k.send([]byte{1})
+	local := make([]byte, 4)
+	fill(local)
+	k.buf = local
+}
+
+func (k *Kernel) send(frame []byte) {
+	netPipe = append(netPipe, frame) // shared: the simulated NIC wire — the audited cross-machine channel
+}
+
+// fill writes only through its parameter: confined to the caller's
+// storage.
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// VMM models the per-VM user-level device-model process.
+type VMM struct {
+	exits uint64
+}
+
+func (v *VMM) handleExit(reason int) {
+	v.exits++
+	exitTotal++ // want "write to package-level var exitTotal on the isolation.VMM.handleExit step path"
+}
+
+// Helper is NOT a step root: its global write is globalstate's
+// business, not isolation's.
+func Helper() {
+	exitCount++
+}

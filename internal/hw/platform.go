@@ -15,10 +15,12 @@ const (
 	IRQAHCI   = 11
 )
 
-// Well-known PCI device IDs of the platform devices.
-var (
-	AHCIDeviceID = BDF(0, 31, 2)
-	NICDeviceID  = BDF(0, 25, 0)
+// Well-known PCI device IDs of the platform devices, packed BDF-style
+// (bus<<8 | dev<<3 | fn, see BDF): the AHCI controller at 00:1f.2 and
+// the NIC at 00:19.0.
+const (
+	AHCIDeviceID DeviceID = 0<<8 | 31<<3 | 2
+	NICDeviceID  DeviceID = 0<<8 | 25<<3 | 0
 )
 
 // CPU is one logical processor of the platform: a cycle clock and a

@@ -42,6 +42,10 @@ const (
 	immGrp3 // F6/F7: imm only for /0 and /1 (TEST)
 )
 
+// The decode tables are init-only: filled below during package
+// initialization and never written (or aliased out) afterwards, so
+// concurrent machines can share them read-only. The globalstate
+// analyzer verifies this, including writes through aliases.
 var oneByteModRM = [256]bool{}
 var oneByteImm = [256]immKind{}
 var twoByteModRM = [256]bool{}
