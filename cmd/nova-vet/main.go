@@ -4,7 +4,8 @@
 //
 //	nova-vet ./...               # the CI / pre-commit gate
 //	nova-vet -list               # describe the analyzers
-//	nova-vet -json ./...         # machine-readable findings
+//	nova-vet -json ./...         # machine-readable findings + timings
+//	nova-vet -run capflow,taint ./... # iterate on an analyzer subset
 //	nova-vet -write-baseline ./... # regenerate nova-vet.baseline
 //
 // Exit codes form a contract for CI and tooling: 0 means the tree is
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"nova/internal/analysis"
 )
@@ -44,11 +46,14 @@ type jsonFinding struct {
 }
 
 // jsonReport is the -json document. Findings excludes baselined
-// diagnostics; Stale lists baseline entries whose finding is fixed.
+// diagnostics; Stale lists baseline entries whose finding is fixed;
+// Timings gives each analyzer's wall-clock share of the run so CI can
+// track which check is eating the budget.
 type jsonReport struct {
-	Findings   []jsonFinding `json:"findings"`
-	Suppressed int           `json:"suppressed"`
-	Stale      []string      `json:"stale,omitempty"`
+	Findings   []jsonFinding     `json:"findings"`
+	Suppressed int               `json:"suppressed"`
+	Stale      []string          `json:"stale,omitempty"`
+	Timings    []analysis.Timing `json:"timings"`
 }
 
 func main() {
@@ -57,6 +62,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to accept all current findings")
 	baselinePath := flag.String("baseline", "", "baseline file (default <repo root>/"+analysis.BaselineFile+")")
+	runNames := flag.String("run", "", "comma-separated analyzer subset to run (default: the full suite)")
 	flag.Parse()
 
 	if *list {
@@ -85,7 +91,24 @@ func main() {
 		}
 	}
 
-	diags, err := analysis.RunSuite(root)
+	// -run narrows the suite for iteration on one analyzer. It is a
+	// development convenience, not a gate configuration: the baseline
+	// may only be rewritten from a full run, and baseline entries
+	// belonging to un-run analyzers are not reported as stale.
+	entries := analysis.DefaultSuite()
+	filtered := *runNames != ""
+	if filtered {
+		if *writeBaseline {
+			fatal(fmt.Errorf("nova-vet: -run cannot be combined with -write-baseline (the baseline must reflect the full suite)"))
+		}
+		var err error
+		entries, err = analysis.SelectEntries(strings.Split(*runNames, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	diags, timings, err := analysis.RunEntries(root, entries)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,9 +131,12 @@ func main() {
 		fatal(err)
 	}
 	kept, suppressed, stale := analysis.ApplyBaseline(root, diags, baseline)
+	if filtered {
+		stale = nil // un-run analyzers' entries are not stale, just unchecked
+	}
 
 	if *jsonOut {
-		report := jsonReport{Findings: []jsonFinding{}, Suppressed: suppressed, Stale: stale}
+		report := jsonReport{Findings: []jsonFinding{}, Suppressed: suppressed, Stale: stale, Timings: timings}
 		for _, d := range kept {
 			file := d.Pos.Filename
 			if r, err := filepath.Rel(root, file); err == nil {
@@ -152,7 +178,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nova-vet: %d new finding(s); fix them or (exceptionally) baseline with -write-baseline\n", len(kept))
 		os.Exit(1)
 	}
-	fmt.Printf("nova-vet: ok (%d analyzer(s), %d baselined)\n", len(analysis.DefaultSuite()), suppressed)
+	fmt.Printf("nova-vet: ok (%d analyzer(s), %d baselined)\n", len(entries), suppressed)
 }
 
 // findRepoRoot walks up from the working directory to the module root.

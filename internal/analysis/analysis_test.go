@@ -101,6 +101,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{Determinism, "determinism"},
 		{Capcheck, "capcheck"},
+		{Capflow, "capflow"},
 		{Chargecheck, "chargecheck"},
 		{Nopanic, "nopanic"},
 		{Exhaustive, "exhaustive"},

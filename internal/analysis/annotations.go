@@ -7,7 +7,7 @@ import (
 	"strings"
 )
 
-// The shared-state analyzers communicate with the code through three
+// The shared-state analyzers communicate with the code through four
 // comment annotations, each carrying a mandatory rationale:
 //
 //	// shared-ok: <why>     on a package-level var declaration — this
@@ -20,6 +20,16 @@ import (
 //	// epoch-barrier: <why> on a function declaration — this function is
 //	                        part of the audited parallel-engine gate;
 //	                        concurrency primitives are allowed inside.
+//	// caphold: <why>; teardown=<Func>
+//	                        on a store site that stashes a looked-up
+//	                        kernel object into state outliving the
+//	                        hypercall (capflow's lifetime rule). The
+//	                        rationale explains why the kernel must hold
+//	                        the reference; teardown names the function
+//	                        whose destruction path releases it, and
+//	                        capflow checks that function is a destruction
+//	                        root (DestroyPD, or Space.Destroy/Revoke) or
+//	                        reachable from one.
 //
 // The markers are substrings, so both `// shared-ok: reason` and a
 // longer sentence containing the marker work; an annotation without a
@@ -29,6 +39,7 @@ const (
 	markSharedOK     = "shared-ok:"
 	markSharedWrite  = "shared:"
 	markEpochBarrier = "epoch-barrier:"
+	markCapHold      = "caphold:"
 )
 
 // annotLines caches, per file and marker, the line numbers covered by a

@@ -30,8 +30,8 @@ var Capcheck = &Analyzer{
 // capSpaceOps are the capability/resource-space operations whose error
 // results constitute selector validation.
 var capSpaceOps = map[string]bool{
-	"Lookup": true, "LookupTyped": true, "Insert": true,
-	"Delegate": true, "Revoke": true,
+	"Lookup": true, "LookupTyped": true, "LookupObj": true,
+	"Insert": true, "Delegate": true, "Revoke": true, "Destroy": true,
 }
 
 func runCapcheck(pass *Pass) {

@@ -3,6 +3,8 @@ package analysis
 import (
 	"fmt"
 	"strings"
+
+	"nova/internal/walltime"
 )
 
 // SimCriticalPackages are the packages whose execution produces the
@@ -39,6 +41,7 @@ type SuiteEntry struct {
 func DefaultSuite() []SuiteEntry {
 	return []SuiteEntry{
 		{Capcheck, nil}, // self-limiting: only fires on hypercall-shaped Kernel methods
+		{Capflow, EntryPointPackages},
 		{Chargecheck, EntryPointPackages},
 		{Concurrency, SimCriticalPackages},
 		{Determinism, SimCriticalPackages},
@@ -51,27 +54,90 @@ func DefaultSuite() []SuiteEntry {
 	}
 }
 
+// SelectEntries filters the default suite down to the named analyzers,
+// preserving suite order. An unknown name is an error (a typo must not
+// silently skip a gate); names are the Analyzer.Name values -list
+// prints.
+func SelectEntries(names []string) ([]SuiteEntry, error) {
+	suite := DefaultSuite()
+	byName := make(map[string]SuiteEntry, len(suite))
+	for _, e := range suite {
+		byName[e.Analyzer.Name] = e
+	}
+	want := make(map[string]bool)
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := byName[n]; !ok {
+			known := make([]string, 0, len(suite))
+			for _, e := range suite {
+				known = append(known, e.Analyzer.Name)
+			}
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("analysis: no analyzers selected")
+	}
+	var out []SuiteEntry
+	for _, e := range suite {
+		if want[e.Analyzer.Name] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Timing is one analyzer's share of a suite run, for -json output and
+// budget tracking.
+type Timing struct {
+	Analyzer string  `json:"analyzer"`
+	Seconds  float64 `json:"seconds"`
+	Findings int     `json:"findings"`
+}
+
 // RunSuite loads the repository rooted at root and runs every suite
 // entry, returning the combined diagnostics (unfiltered by baseline).
 func RunSuite(root string) ([]Diagnostic, error) {
+	diags, _, err := RunEntries(root, DefaultSuite())
+	return diags, err
+}
+
+// RunEntries loads the repository and runs the given suite entries,
+// timing each analyzer on the host wall clock.
+func RunEntries(root string, entries []SuiteEntry) ([]Diagnostic, []Timing, error) {
 	prog, err := LoadRepo(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return RunSuiteOn(prog)
+	return RunEntriesOn(prog, entries)
 }
 
 // RunSuiteOn runs the default suite over an already-loaded program.
 func RunSuiteOn(prog *Program) ([]Diagnostic, error) {
+	diags, _, err := RunEntriesOn(prog, DefaultSuite())
+	return diags, err
+}
+
+// RunEntriesOn runs the given suite entries over an already-loaded
+// program, timing each analyzer.
+func RunEntriesOn(prog *Program, entries []SuiteEntry) ([]Diagnostic, []Timing, error) {
 	var all []Diagnostic
-	for _, e := range DefaultSuite() {
+	timings := make([]Timing, 0, len(entries))
+	for _, e := range entries {
 		targets, err := selectTargets(prog, e.Paths)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		all = append(all, e.Analyzer.Run(prog, targets)...)
+		sw := walltime.Start()
+		diags := e.Analyzer.Run(prog, targets)
+		timings = append(timings, Timing{Analyzer: e.Analyzer.Name, Seconds: sw.Seconds(), Findings: len(diags)})
+		all = append(all, diags...)
 	}
-	return all, nil
+	return all, timings, nil
 }
 
 func selectTargets(prog *Program, paths []string) ([]*Package, error) {

@@ -211,6 +211,48 @@ func (s *Space) LookupTyped(sel Selector, t ObjType, need Rights) (Capability, e
 	return c, nil
 }
 
+// LookupObj is the reverse validation used by hypercalls that receive a
+// kernel object by reference: it proves the holder names obj somewhere
+// in this space with at least the needed rights. The scan is over the
+// sorted selector list, so the result is deterministic: the lowest
+// selector naming obj with sufficient rights wins. Like Lookup, the
+// returned capability is a copy.
+func (s *Space) LookupObj(obj Object, t ObjType, need Rights) (Capability, error) {
+	if s.closed {
+		return Capability{}, ErrSpaceClosed
+	}
+	s.Lookups++
+	named := false
+	for _, sel := range s.Selectors() {
+		n := s.slots[sel]
+		if n == nil || n.dead || n.cap.Obj != obj {
+			continue
+		}
+		if n.cap.Type != t {
+			continue
+		}
+		named = true
+		if n.cap.Rights&need == need {
+			return n.cap, nil
+		}
+	}
+	if named {
+		return Capability{}, ErrNoRights
+	}
+	return Capability{}, ErrEmptySlot
+}
+
+// SelectorOf returns the lowest selector naming obj in this space, for
+// brokering helpers that need to re-delegate an object they hold.
+func (s *Space) SelectorOf(obj Object) (Selector, bool) {
+	for _, sel := range s.Selectors() {
+		if n := s.slots[sel]; n != nil && !n.dead && n.cap.Obj == obj {
+			return sel, true
+		}
+	}
+	return 0, false
+}
+
 // Delegate copies the capability at srcSel into dst at dstSel, with
 // rights reduced by mask, and records the delegation in the mapping
 // database. The receiver's capability can later be withdrawn by
@@ -294,10 +336,21 @@ func (s *Space) Remove(sel Selector) error {
 	return nil
 }
 
-// Destroy closes the space, revoking everything delegated from it.
-func (s *Space) Destroy() {
-	for sel := range s.slots {
-		s.Revoke(sel, true) //nolint:errcheck // best-effort teardown
+// Destroy closes the space, revoking everything delegated from it. The
+// sorted selector walk keeps teardown order deterministic; selectors
+// already removed by an earlier transitive revoke are skipped, and any
+// remaining revocation failures are aggregated instead of dropped so
+// the hypercall layer can report them.
+func (s *Space) Destroy() error {
+	var errs []error
+	for _, sel := range s.Selectors() {
+		if _, ok := s.slots[sel]; !ok {
+			continue // revoked transitively by an earlier selector
+		}
+		if _, err := s.Revoke(sel, true); err != nil && !errors.Is(err, ErrEmptySlot) {
+			errs = append(errs, fmt.Errorf("cap: destroy %s sel %d: %w", s.name, sel, err))
+		}
 	}
 	s.closed = true
+	return errors.Join(errs...)
 }

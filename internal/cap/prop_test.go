@@ -1,0 +1,109 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property-style checks over randomly generated delegation trees. The
+// PRNG is seeded, so a failure reproduces; the properties are the two
+// §6 guarantees the hypercall layer leans on: delegation can only ever
+// shrink rights (transitively, along any chain), and revoking what was
+// delegated from a selector never harms the selector itself.
+
+// delegation records one edge of a generated tree so properties can be
+// checked against the observable Lookup results alone.
+type delegation struct {
+	parent *delegation // nil for the root capability
+	space  *Space
+	sel    Selector
+	rights Rights // rights the edge was granted (parent rights & mask)
+}
+
+// growTree builds a random delegation tree over nSpaces spaces rooted
+// at a full-rights capability, returning every node including the root.
+func growTree(t *testing.T, rng *rand.Rand, nSpaces, nDelegations int) (root *delegation, all []*delegation, spaces []*Space) {
+	t.Helper()
+	for i := 0; i < nSpaces; i++ {
+		spaces = append(spaces, NewSpace("prop"))
+	}
+	obj := &fakeObj{t: ObjSemaphore}
+	if err := spaces[0].Insert(1, obj, RightsAll); err != nil {
+		t.Fatal(err)
+	}
+	root = &delegation{space: spaces[0], sel: 1, rights: RightsAll}
+	all = []*delegation{root}
+	nextSel := Selector(100)
+	for i := 0; i < nDelegations; i++ {
+		src := all[rng.Intn(len(all))]
+		dst := spaces[rng.Intn(len(spaces))]
+		mask := Rights(rng.Intn(int(RightsAll) + 1))
+		nextSel++
+		err := src.space.Delegate(src.sel, dst, nextSel, mask)
+		if err != nil {
+			t.Fatalf("delegate %d: %v", i, err)
+		}
+		all = append(all, &delegation{
+			parent: src, space: dst, sel: nextSel, rights: src.rights & mask,
+		})
+	}
+	return root, all, spaces
+}
+
+// TestPropDelegationRightsMonotonic: along every delegation chain,
+// rights never grow — each capability's observable rights are exactly
+// the AND of every mask on its path, hence a subset of every ancestor's.
+func TestPropDelegationRightsMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		_, all, _ := growTree(t, rng, 1+rng.Intn(4), 1+rng.Intn(40))
+		for _, d := range all {
+			c, err := d.space.Lookup(d.sel)
+			if err != nil {
+				t.Fatalf("trial %d: lookup: %v", trial, err)
+			}
+			if c.Rights != d.rights {
+				t.Fatalf("trial %d: rights %v, want %v", trial, c.Rights, d.rights)
+			}
+			// Transitive monotonicity: a subset of every ancestor.
+			for a := d.parent; a != nil; a = a.parent {
+				if c.Rights&^a.rights != 0 {
+					t.Fatalf("trial %d: capability %v exceeds ancestor %v", trial, c.Rights, a.rights)
+				}
+			}
+		}
+	}
+}
+
+// TestPropRevokeKeepsRootUsable: Revoke(sel, self=false) withdraws
+// every transitively delegated capability but leaves the revoked
+// selector itself intact, with unchanged rights, and still able to
+// delegate again.
+func TestPropRevokeKeepsRootUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		root, all, spaces := growTree(t, rng, 1+rng.Intn(4), 1+rng.Intn(40))
+		removed, err := root.space.Revoke(root.sel, false)
+		if err != nil {
+			t.Fatalf("trial %d: revoke: %v", trial, err)
+		}
+		if removed != len(all)-1 {
+			t.Fatalf("trial %d: revoked %d capabilities, want %d", trial, removed, len(all)-1)
+		}
+		for _, d := range all[1:] {
+			if _, err := d.space.Lookup(d.sel); err == nil {
+				t.Fatalf("trial %d: delegated capability at %d survived revoke", trial, d.sel)
+			}
+		}
+		c, err := root.space.Lookup(root.sel)
+		if err != nil {
+			t.Fatalf("trial %d: root unusable after revoke: %v", trial, err)
+		}
+		if c.Rights != root.rights {
+			t.Fatalf("trial %d: root rights changed: %v, want %v", trial, c.Rights, root.rights)
+		}
+		if err := root.space.Delegate(root.sel, spaces[len(spaces)-1], 9999, RightRead); err != nil {
+			t.Fatalf("trial %d: root cannot delegate after revoke: %v", trial, err)
+		}
+	}
+}

@@ -136,6 +136,11 @@ type gsiRoute struct {
 	vector uint8
 }
 
+// maxGSI bounds the global system interrupt space (one x86 vector
+// byte). DestroyPD walks this range to tear down routes into a dead
+// domain without iterating the route maps.
+const maxGSI = 256
+
 // New creates a kernel on the platform, claims the hypervisor's own
 // resources, and creates the root PD holding capabilities for
 // everything else (§6).
@@ -290,6 +295,7 @@ func (k *Kernel) tagged() bool { return k.Cfg.UseVPID && k.Plat.Cost.HasVPID }
 var (
 	ErrVMNoHypercalls = errors.New("hypervisor: VMs cannot perform hypercalls")
 	ErrBadCPU         = errors.New("hypervisor: invalid CPU")
+	ErrBadGSI         = errors.New("hypervisor: interrupt line out of range")
 	ErrDead           = errors.New("hypervisor: object destroyed")
 )
 
@@ -326,6 +332,7 @@ func (k *Kernel) CreatePD(caller *PD, sel cap.Selector, name string, isVM bool) 
 	if err := caller.Caps.Insert(sel, pd, cap.RightsAll); err != nil {
 		return nil, err
 	}
+	// caphold: kernel PD registry for domain accounting; DestroyPD marks entries dead; teardown=DestroyPD
 	k.pds = append(k.pds, pd)
 	return pd, nil
 }
@@ -337,6 +344,9 @@ func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name st
 	if err := k.syscallEnter(caller); err != nil {
 		return nil, err
 	}
+	if _, err := caller.Caps.LookupObj(pd, cap.ObjPD, cap.RightCtrl); err != nil {
+		return nil, err
+	}
 	if cpu < 0 || cpu >= len(k.Plat.CPUs) {
 		return nil, ErrBadCPU
 	}
@@ -344,6 +354,7 @@ func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name st
 	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
 		return nil, err
 	}
+	// caphold: kernel EC registry, walked to kill a domain's ECs; teardown=DestroyPD
 	k.ecs = append(k.ecs, ec)
 	return ec, nil
 }
@@ -354,6 +365,9 @@ func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name st
 // PortalSelectorFor(reason, index).
 func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name string, mode PagingMode, index int) (*EC, error) {
 	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	if _, err := caller.Caps.LookupObj(vm, cap.ObjPD, cap.RightCtrl); err != nil {
 		return nil, err
 	}
 	if cpu < 0 || cpu >= len(k.Plat.CPUs) {
@@ -389,6 +403,7 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 	if err := caller.Caps.Insert(sel, ec, cap.RightsAll); err != nil {
 		return nil, err
 	}
+	// caphold: kernel EC registry, walked to kill a domain's ECs; teardown=DestroyPD
 	k.ecs = append(k.ecs, ec)
 	return ec, nil
 }
@@ -396,6 +411,9 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 // CreateSC creates a scheduling context attached to ec and enqueues it.
 func (k *Kernel) CreateSC(caller *PD, sel cap.Selector, ec *EC, priority int, quantum hw.Cycles) (*SC, error) {
 	if err := k.syscallEnter(caller); err != nil {
+		return nil, err
+	}
+	if _, err := caller.Caps.LookupObj(ec, cap.ObjEC, cap.RightCtrl); err != nil {
 		return nil, err
 	}
 	sc := &SC{Name: ec.Name, Priority: priority, Quantum: quantum, Left: quantum, EC: ec}
@@ -429,7 +447,7 @@ func (k *Kernel) CreateSemaphore(caller *PD, sel cap.Selector, name string, init
 	if err := k.syscallEnter(caller); err != nil {
 		return nil, err
 	}
-	sm := &Semaphore{Name: name, ID: k.allocSemID(), Counter: initial}
+	sm := &Semaphore{Name: name, ID: k.allocSemID(), Counter: initial, Owner: caller}
 	if err := caller.Caps.Insert(sel, sm, cap.RightsAll); err != nil {
 		return nil, err
 	}
@@ -441,6 +459,9 @@ func (k *Kernel) CreateSemaphore(caller *PD, sel cap.Selector, name string, init
 // message transfer descriptor.
 func (k *Kernel) DelegateCap(caller *PD, src cap.Selector, dst *PD, dstSel cap.Selector, mask cap.Rights) error {
 	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if _, err := caller.Caps.LookupObj(dst, cap.ObjPD, cap.RightCtrl); err != nil {
 		return err
 	}
 	return caller.Caps.Delegate(src, dst.Caps, dstSel, mask)
@@ -457,6 +478,9 @@ func (k *Kernel) RevokeCap(caller *PD, sel cap.Selector, self bool) (int, error)
 // DelegateMem transfers memory pages between domains.
 func (k *Kernel) DelegateMem(caller *PD, srcPage uint32, dst *PD, dstPage uint32, npages int, mask cap.Rights) error {
 	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if _, err := caller.Caps.LookupObj(dst, cap.ObjPD, cap.RightCtrl); err != nil {
 		return err
 	}
 	return caller.Mem.Delegate(srcPage, dst.Mem, dstPage, npages, mask)
@@ -478,6 +502,9 @@ func (k *Kernel) DelegateIO(caller *PD, dst *PD, lo, hi uint16) error {
 	if err := k.syscallEnter(caller); err != nil {
 		return err
 	}
+	if _, err := caller.Caps.LookupObj(dst, cap.ObjPD, cap.RightCtrl); err != nil {
+		return err
+	}
 	return caller.IO.Delegate(dst.IO, lo, hi)
 }
 
@@ -489,9 +516,16 @@ func (k *Kernel) AssignGSI(caller *PD, line int, sm *Semaphore) error {
 	if err := k.syscallEnter(caller); err != nil {
 		return err
 	}
+	if _, err := caller.Caps.LookupObj(sm, cap.ObjSemaphore, cap.RightCtrl); err != nil {
+		return err
+	}
+	if line < 0 || line >= maxGSI {
+		return ErrBadGSI
+	}
 	if !caller.IO.Allowed(uint16(line)) && caller != k.Root {
 		return cap.ErrNoRights
 	}
+	// caphold: interrupt route into a driver domain; teardown=DestroyPD
 	k.gsiSem[line] = sm
 	delete(k.gsiVCPU, line)
 	return nil
@@ -505,9 +539,16 @@ func (k *Kernel) AssignGSIToVM(caller *PD, line int, ec *EC, vector uint8) error
 	if err := k.syscallEnter(caller); err != nil {
 		return err
 	}
+	if _, err := caller.Caps.LookupObj(ec, cap.ObjEC, cap.RightCtrl); err != nil {
+		return err
+	}
+	if line < 0 || line >= maxGSI {
+		return ErrBadGSI
+	}
 	if ec.Kind != ECVCPU {
 		return fmt.Errorf("hypervisor: GSI target %s is not a vCPU", ec.Name)
 	}
+	// caphold: interrupt route into a guest vCPU; teardown=DestroyPD
 	k.gsiVCPU[line] = &gsiRoute{ec: ec, vector: vector}
 	delete(k.gsiSem, line)
 	return nil
@@ -517,6 +558,9 @@ func (k *Kernel) AssignGSIToVM(caller *PD, line int, ec *EC, vector uint8) error
 // pending interrupt in a timely manner (§7.5).
 func (k *Kernel) Recall(caller *PD, ec *EC) error {
 	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if _, err := caller.Caps.LookupObj(ec, cap.ObjEC, cap.RightCtrl); err != nil {
 		return err
 	}
 	if ec.Kind != ECVCPU {
@@ -534,6 +578,9 @@ func (k *Kernel) Recall(caller *PD, ec *EC) error {
 // currently running with the window closed.
 func (k *Kernel) InjectIRQ(caller *PD, ec *EC, vector uint8) error {
 	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if _, err := caller.Caps.LookupObj(ec, cap.ObjEC, cap.RightCtrl); err != nil {
 		return err
 	}
 	v := ec.VCPU
@@ -558,8 +605,11 @@ func (k *Kernel) DestroyPD(caller *PD, pd *PD) error {
 	if err := k.syscallEnter(caller); err != nil {
 		return err
 	}
+	if _, err := caller.Caps.LookupObj(pd, cap.ObjPD, cap.RightCtrl); err != nil {
+		return err
+	}
 	pd.dead = true
-	pd.Caps.Destroy()
+	errs := pd.Caps.Destroy()
 	pd.Mem.Destroy()
 	for _, ec := range k.ecs {
 		if ec.PD == pd {
@@ -567,12 +617,26 @@ func (k *Kernel) DestroyPD(caller *PD, pd *PD) error {
 			ec.runnable = false
 		}
 	}
-	return nil
+	// Tear down interrupt routes into the dead domain: semaphore routes
+	// it created and vCPU routes targeting its ECs. The bounded line walk
+	// keeps this deterministic (no map iteration).
+	for line := 0; line < maxGSI; line++ {
+		if sm := k.gsiSem[line]; sm != nil && sm.Owner == pd {
+			delete(k.gsiSem, line)
+		}
+		if rt := k.gsiVCPU[line]; rt != nil && rt.ec.PD == pd {
+			delete(k.gsiVCPU, line)
+		}
+	}
+	return errs
 }
 
 // SemUp performs the semaphore up operation (hypercall form).
 func (k *Kernel) SemUp(caller *PD, sm *Semaphore) error {
 	if err := k.syscallEnter(caller); err != nil {
+		return err
+	}
+	if _, err := caller.Caps.LookupObj(sm, cap.ObjSemaphore, cap.RightCall); err != nil {
 		return err
 	}
 	k.semUp(sm)

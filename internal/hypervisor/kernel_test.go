@@ -211,6 +211,16 @@ func TestDestroyPDRevokesEverything(t *testing.T) {
 	victim, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "victim", false)
 	peer, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "peer", false)
 
+	// Delegating into the peer requires control over it: the root PD,
+	// which created both domains, brokers that authority to the victim.
+	peerSel, ok := k.Root.Caps.SelectorOf(peer)
+	if !ok {
+		t.Fatal("root lost the peer capability")
+	}
+	if err := k.DelegateCap(k.Root, peerSel, victim, victim.Caps.AllocSel(), cap.RightCtrl); err != nil {
+		t.Fatal(err)
+	}
+
 	// The victim owns memory and delegated some of it to the peer.
 	if err := k.DelegateMem(k.Root, 0x400, victim, 0x400, 8, cap.RightsAll); err != nil {
 		t.Fatal(err)

@@ -161,6 +161,11 @@ type Semaphore struct {
 	Counter int64
 	waiters []*EC
 
+	// Owner is the domain the semaphore was created in; interrupt
+	// routes (AssignGSI) bound to it are torn down when that domain is
+	// destroyed.
+	Owner *PD
+
 	Ups   uint64
 	Downs uint64
 }

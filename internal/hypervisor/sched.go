@@ -26,6 +26,7 @@ func (q *runqueue) push(sc *SC) {
 		p = NumPriorities - 1
 	}
 	sc.Priority = p
+	// caphold: ready queue holds the SC until dispatch, which drops dead SCs; teardown=DestroyPD
 	q.levels[p] = append(q.levels[p], sc)
 	q.bitmap[p/64] |= 1 << uint(p%64)
 	sc.queued = true

@@ -188,21 +188,36 @@ func (ds *DiskServer) initController() {
 	ds.mmioWrite(regGHC, 1<<1)    // interrupt enable
 }
 
-// AddClient creates a dedicated channel for a client VMM: a portal the
-// client calls with DiskRequests, a shared completion region, and the
-// client's doorbell semaphore. It returns the portal for delegation.
-func (ds *DiskServer) AddClient(clientPD *hypervisor.PD, name string, doorbell *hypervisor.Semaphore) (*hypervisor.Portal, uint64, error) {
+// AddClient creates a dedicated channel for a client VMM (§4.2: "device
+// drivers use a dedicated communication channel for each VMM"): the
+// server creates the client's doorbell semaphore and request portal in
+// its own domain and delegates the doorbell with call rights only. The
+// portal is returned for DelegatePortal. Registration is where the root
+// PD brokers authority: the server receives control over the client
+// domain so the delegations into it pass capability validation.
+func (ds *DiskServer) AddClient(clientPD *hypervisor.PD, name string) (*hypervisor.Portal, *hypervisor.Semaphore, uint64, error) {
+	if err := grantChannelAuthority(ds.K, ds.PD, clientPD); err != nil {
+		return nil, nil, 0, err
+	}
+	bellSel := ds.PD.Caps.AllocSel()
+	bell, err := ds.K.CreateSemaphore(ds.PD, bellSel, name+"-disk-bell", 0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := ds.K.DelegateCap(ds.PD, bellSel, clientPD, clientPD.Caps.AllocSel(), cap.RightCall); err != nil {
+		return nil, nil, 0, err
+	}
 	ds.nextID++
 	id := ds.nextID
-	cl := &diskClient{id: id, name: name, pd: clientPD, doorbell: doorbell}
+	cl := &diskClient{id: id, name: name, pd: clientPD, doorbell: bell}
 	ds.clients[id] = cl
 	pt, err := ds.K.CreatePortal(ds.PD, ds.PD.Caps.AllocSel(), "disk-"+name, id, 0, func(msg *hypervisor.UTCB) error {
 		return ds.handleRequest(cl, msg)
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return pt, id, nil
+	return pt, bell, id, nil
 }
 
 // Completions drains and returns the client's completion records (the

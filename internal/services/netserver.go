@@ -130,11 +130,24 @@ func (ns *NetServer) initController() {
 
 // AddClient registers a packet consumer; every received frame is
 // queued for all clients (the server does no protocol demux — clients
-// filter, as a NIC driver VM would).
-func (ns *NetServer) AddClient(pd *hypervisor.PD, name string, doorbell *hypervisor.Semaphore) uint64 {
+// filter, as a NIC driver VM would). As in the disk server, the
+// per-client doorbell is created server-side and delegated to the
+// client with call rights only.
+func (ns *NetServer) AddClient(pd *hypervisor.PD, name string) (uint64, *hypervisor.Semaphore, error) {
+	if err := grantChannelAuthority(ns.K, ns.PD, pd); err != nil {
+		return 0, nil, err
+	}
+	bellSel := ns.PD.Caps.AllocSel()
+	bell, err := ns.K.CreateSemaphore(ns.PD, bellSel, name+"-net-bell", 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := ns.K.DelegateCap(ns.PD, bellSel, pd, pd.Caps.AllocSel(), cap.RightCall); err != nil {
+		return 0, nil, err
+	}
 	ns.nextID++
-	ns.clients[ns.nextID] = &netClient{name: name, pd: pd, doorbell: doorbell}
-	return ns.nextID
+	ns.clients[ns.nextID] = &netClient{name: name, pd: pd, doorbell: bell}
+	return ns.nextID, bell, nil
 }
 
 // Receive drains a client's packet queue.

@@ -115,13 +115,32 @@ func (c *Console) AddClient(name string) (*hypervisor.Portal, uint64, error) {
 // Log returns a client's accumulated output.
 func (c *Console) Log(id uint64) string { return string(c.logs[id]) }
 
+// grantChannelAuthority ensures srv holds a control capability for the
+// client protection domain before channel setup delegates into it (the
+// kernel's delegation hypercall demands control over the destination
+// domain). The grant comes from the root PD — the broker that created
+// both domains — and happens at most once per server/client pair (§6:
+// policy applied at every delegation level).
+func grantChannelAuthority(k *hypervisor.Kernel, srv, client *hypervisor.PD) error {
+	if _, err := srv.Caps.LookupObj(client, cap.ObjPD, cap.RightCtrl); err == nil {
+		return nil
+	}
+	rootSel, ok := k.Root.Caps.SelectorOf(client)
+	if !ok {
+		return fmt.Errorf("services: root holds no capability for %s", client.Name)
+	}
+	return k.DelegateCap(k.Root, rootSel, srv, srv.Caps.AllocSel(), cap.RightCtrl)
+}
+
 // DelegatePortal hands a service portal to a client domain at the given
 // selector with call rights only — the least privilege a client needs.
 func DelegatePortal(k *hypervisor.Kernel, owner *hypervisor.PD, pt *hypervisor.Portal, client *hypervisor.PD, sel cap.Selector) error {
-	for _, s := range owner.Caps.Selectors() {
-		if c, err := owner.Caps.Lookup(s); err == nil && c.Obj == pt {
-			return k.DelegateCap(owner, s, client, sel, cap.RightCall)
-		}
+	if err := grantChannelAuthority(k, owner, client); err != nil {
+		return err
 	}
-	return fmt.Errorf("services: portal not found in %s", owner.Name)
+	s, ok := owner.Caps.SelectorOf(pt)
+	if !ok {
+		return fmt.Errorf("services: portal not found in %s", owner.Name)
+	}
+	return k.DelegateCap(owner, s, client, sel, cap.RightCall)
 }

@@ -57,11 +57,7 @@ func TestDiskServerRequestCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bell, err := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "bell", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pt, id, err := ds.AddClient(client, "client", bell)
+	pt, bell, id, err := ds.AddClient(client, "client")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,8 +105,7 @@ func TestDiskServerThrottlesFloodingClient(t *testing.T) {
 	}
 	ds.MaxOutstanding = 4
 	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "flood", false)
-	bell, _ := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "bell", 0)
-	pt, _, err := ds.AddClient(client, "flood", bell)
+	pt, _, _, err := ds.AddClient(client, "flood")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,8 +142,7 @@ func TestDiskServerMalformedRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "bad", false)
-	bell, _ := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "bell", 0)
-	pt, _, _ := ds.AddClient(client, "bad", bell)
+	pt, _, _, _ := ds.AddClient(client, "bad")
 	if err := DelegatePortal(k, ds.PD, pt, client, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -253,8 +247,10 @@ func TestNetServerDeliversPackets(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "netclient", false)
-	bell, _ := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "netbell", 0)
-	id := ns.AddClient(client, "netclient", bell)
+	id, bell, err := ns.AddClient(client, "netclient")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Feed three packets from the wire.
 	src := hw.NewPacketSource(k.Plat.NIC, k.Plat.Queue, k.Plat.BootCPU().Clock.Now,
@@ -296,8 +292,10 @@ func TestNetServerJumboTruncatedSafely(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "c", false)
-	bell, _ := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "b", 0)
-	id := ns.AddClient(client, "c", bell)
+	id, _, err := ns.AddClient(client, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	src := hw.NewPacketSource(k.Plat.NIC, k.Plat.Queue, k.Plat.BootCPU().Clock.Now,
 		k.Plat.Cost.FreqMHz, 9188, 100, 2)
@@ -328,8 +326,10 @@ func TestNetServerBackpressure(t *testing.T) {
 	}
 	ns.MaxQueued = 4
 	client, _ := k.CreatePD(k.Root, k.Root.Caps.AllocSel(), "slow", false)
-	bell, _ := k.CreateSemaphore(k.Root, k.Root.Caps.AllocSel(), "sb", 0)
-	id := ns.AddClient(client, "slow", bell)
+	id, _, err := ns.AddClient(client, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	src := hw.NewPacketSource(k.Plat.NIC, k.Plat.Queue, k.Plat.BootCPU().Clock.Now,
 		k.Plat.Cost.FreqMHz, 64, 10, 10)

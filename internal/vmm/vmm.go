@@ -173,22 +173,16 @@ func New(k *hypervisor.Kernel, cfg Config) (*VMM, error) {
 			Dev: hw.BDF(0, 31, 2), VendorID: 0x8086, DeviceID: 0x2922,
 			Class: 0x010601, BAR: [6]uint32{5: uint32(hw.AHCIMMIOBase)}, IRQLine: VAHCIIRQ,
 		})
-		m.doorbell, err = k.CreateSemaphore(pd, pd.Caps.AllocSel(), cfg.Name+"-disk-doorbell", 0)
+		// The disk server creates the channel: doorbell semaphore plus
+		// request portal, both delegated to the VMM (Figure 4, step 1).
+		pt, bell, id, err := cfg.DiskServer.AddClient(pd, cfg.Name)
 		if err != nil {
 			return nil, err
 		}
-		pt, id, err := cfg.DiskServer.AddClient(pd, cfg.Name, m.doorbell)
-		if err != nil {
-			return nil, err
-		}
+		m.doorbell = bell
 		m.diskClientID = id
-		// The disk server delegates the channel portal to the VMM.
 		m.diskPortalSel = pd.Caps.AllocSel()
-		ptSel, err := findSel(cfg.DiskServer.PD, pt)
-		if err != nil {
-			return nil, err
-		}
-		if err := k.DelegateCap(cfg.DiskServer.PD, ptSel, pd, m.diskPortalSel, cap.RightCall); err != nil {
+		if err := services.DelegatePortal(k, cfg.DiskServer.PD, pt, pd, m.diskPortalSel); err != nil {
 			return nil, err
 		}
 		// Completion EC woken by the doorbell (Figure 4, step 7).
@@ -230,26 +224,13 @@ func New(k *hypervisor.Kernel, cfg Config) (*VMM, error) {
 				func(msg *hypervisor.UTCB) error { return m.handleExit(r, i, msg) }); err != nil {
 				return nil, err
 			}
-			if err := pd.Caps.Delegate(sel, vm.Caps, hypervisor.PortalSelectorFor(r, i), cap.RightCall); err != nil {
+			if err := k.DelegateCap(pd, sel, vm, hypervisor.PortalSelectorFor(r, i), cap.RightCall); err != nil {
 				return nil, err
 			}
 		}
 	}
 	m.EC = m.ECs[0]
 	return m, nil
-}
-
-// findSel locates the selector of a freshly created object in a PD's
-// cap space (helper for cross-domain delegation in setup code). A miss
-// means the object was never inserted (or already revoked) and the
-// delegation cannot proceed; the caller propagates the error.
-func findSel(pd *hypervisor.PD, obj cap.Object) (cap.Selector, error) {
-	for _, sel := range pd.Caps.Selectors() {
-		if c, err := pd.Caps.Lookup(sel); err == nil && c.Obj == obj {
-			return sel, nil
-		}
-	}
-	return 0, fmt.Errorf("vmm: object not found in capability space of %s", pd.Name)
 }
 
 // Start gives every vCPU a scheduling context, making the VM runnable.
