@@ -26,7 +26,14 @@ func main() {
 	out := flag.String("out", "", "write results as JSON to this file (e.g. BENCH_quick.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
+	compare := flag.Bool("compare", false,
+		"compare two report files (BASELINE.json NEW.json) instead of running; exit 1 on deterministic drift")
 	flag.Parse()
+
+	if *compare {
+		compareReports(flag.Args())
+		return
+	}
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
@@ -162,6 +169,44 @@ func main() {
 		}
 		fmt.Printf("report: %s (%d experiments)\n", *out, len(report.Experiments))
 	}
+}
+
+// compareReports diffs two bench report files. Deterministic drift
+// (simulated results that changed) exits 1 so CI fails; host-dependent
+// differences (wall-clock, Go version, host-throughput rows) are
+// printed as advisory and never fail the comparison.
+func compareReports(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: nova-bench -compare BASELINE.json NEW.json")
+		os.Exit(2)
+	}
+	baseline, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	current, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	res, err := bench.Compare(baseline, current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(2)
+	}
+	for _, a := range res.Advisory {
+		fmt.Printf("advisory: %s\n", a)
+	}
+	if res.Failed() {
+		fmt.Printf("DRIFT: %d deterministic difference(s) between %s and %s:\n", len(res.Drift), args[0], args[1])
+		for _, d := range res.Drift {
+			fmt.Printf("  %s\n", d)
+		}
+		fmt.Println("simulated results changed; investigate, or refresh the baseline if intentional")
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %s and %s agree on all deterministic fields\n", args[0], args[1])
 }
 
 // startProfiles begins host-side pprof profiling as requested and

@@ -21,6 +21,7 @@ import (
 	"nova/internal/hypervisor"
 	"nova/internal/prof"
 	"nova/internal/services"
+	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/vmm"
 	"nova/internal/x86"
@@ -50,6 +51,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
 	profFile := flag.String("prof", "", "write a virtual-time guest profile to this file (read it with nova-prof)")
 	profPeriod := flag.Uint64("prof-period", 10_000, "virtual cycles between profile samples for -prof")
+	statsFile := flag.String("stats", "", "write the encoded resource-accounting snapshot to this file (read it with nova-stat)")
+	statsEpoch := flag.Uint64("stats-epoch", 0, "virtual-time epoch length in cycles for -stats (0 = default)")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
@@ -66,7 +69,7 @@ func main() {
 
 	if *workload == "boot" {
 		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache,
-			*profFile, *profPeriod)
+			*profFile, *profPeriod, *statsFile, hw.Cycles(*statsEpoch))
 		stopProfiles()
 		return
 	}
@@ -104,6 +107,12 @@ func main() {
 	}
 	if *profFile != "" {
 		cfg.ProfilePeriod = *profPeriod
+	}
+	if *statsFile != "" {
+		cfg.StatEpoch = hw.Cycles(*statsEpoch)
+		if cfg.StatEpoch == 0 {
+			cfg.StatEpoch = stat.DefaultEpochLen
+		}
 	}
 	r, err := guest.NewRunner(cfg, img)
 	if err != nil {
@@ -160,6 +169,21 @@ func main() {
 		}
 		writeProfile(*profFile, b, r.Prof)
 	}
+	if *statsFile != "" {
+		b, err := r.EncodeStats()
+		if err != nil {
+			fail("encode stats: %v", err)
+		}
+		writeStats(*statsFile, b, r.Stat)
+	}
+}
+
+// writeStats saves an encoded resource-accounting snapshot.
+func writeStats(path string, b []byte, r *stat.Registry) {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fail("write stats: %v", err)
+	}
+	fmt.Printf("stats: %s (epoch length %d cycles)\n", path, r.EpochLen())
 }
 
 // hotSiteCode is how many of the hottest addresses get their
@@ -245,7 +269,8 @@ func startProfiles(cpuFile, memFile string) func() {
 // runBoot performs the full BIOS boot path on a user-provided boot
 // sector (or a built-in demo that prints via INT 10h).
 func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int,
-	disableDecodeCache bool, profFile string, profPeriod uint64) {
+	disableDecodeCache bool, profFile string, profPeriod uint64,
+	statsFile string, statsEpoch hw.Cycles) {
 	var sector []byte
 	if imagePath != "" {
 		b, err := os.ReadFile(imagePath)
@@ -311,6 +336,9 @@ msg:
 	if profFile != "" {
 		k.AttachProfiler(profPeriod, 65536)
 	}
+	if statsFile != "" {
+		k.AttachStats(statsEpoch)
+	}
 	k.Run(k.Now() + 500_000_000)
 	fmt.Printf("console: %q\n", m.Console())
 	fmt.Printf("BIOS calls: %d, VM exits: %d\n", m.Stats.BIOSCalls, m.EC.VCPU.TotalExits())
@@ -326,6 +354,13 @@ msg:
 			fail("encode profile: %v", err)
 		}
 		writeProfile(profFile, b, k.Prof)
+	}
+	if statsFile != "" {
+		b, err := k.Stat.Snapshot(k.Now()).Encode()
+		if err != nil {
+			fail("encode stats: %v", err)
+		}
+		writeStats(statsFile, b, k.Stat)
 	}
 }
 

@@ -41,15 +41,32 @@ func main() {
 	case "timeline":
 		timeline(d, *limit)
 	case "attrib":
+		warnTruncation(d)
 		attrib(d)
 	case "chrome":
+		warnTruncation(d)
 		chrome(d)
 	case "metrics":
+		warnTruncation(d)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(d.Metrics) //nolint:errcheck
 	default:
 		fail("unknown format %q", *format)
+	}
+}
+
+// warnTruncation prints a stderr notice when any per-CPU ring wrapped:
+// event-derived views (attrib spans, chrome timeline) then cover only
+// the tail of the run, though the counters and histograms in the
+// metrics section still cover everything.
+func warnTruncation(d *trace.TraceData) {
+	for cpu, over := range d.Overwritten {
+		if over > 0 {
+			fmt.Fprintf(os.Stderr,
+				"nova-trace: warning: cpu%d ring overwrote %d events; event-derived output covers only the tail of the run (raise -trace-capacity)\n",
+				cpu, over)
+		}
 	}
 }
 

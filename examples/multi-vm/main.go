@@ -8,8 +8,10 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"nova/internal/guest"
 	"nova/internal/hw"
@@ -19,11 +21,17 @@ import (
 )
 
 func main() {
+	statsFile := flag.String("stats", "", "write a resource-accounting snapshot (view with nova-stat)")
+	flag.Parse()
+
 	plat := hw.MustNewPlatform(hw.Config{Model: hw.BLM, RAMSize: 256 << 20})
 	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true})
 	root := services.NewRootPM(k)
 	ds, err := root.StartDiskServer()
 	check(err)
+	if *statsFile != "" {
+		k.AttachStats(0) // per-VM attribution; 0 = default epoch length
+	}
 	k.StartSchedulingTimer(667)
 
 	img := guest.MustBuild(guest.DiskChecksumKernel())
@@ -88,6 +96,13 @@ func main() {
 		ds.Stats.Requests, 3, ds.Stats.IRQs, ds.Stats.Throttled)
 	fmt.Printf("host controller: %d commands, %d bytes DMA\n",
 		plat.AHCI.Stats.Commands, plat.AHCI.Stats.DMABytes)
+
+	if *statsFile != "" {
+		b, err := k.Stat.Snapshot(k.Now()).Encode()
+		check(err)
+		check(os.WriteFile(*statsFile, b, 0o644))
+		fmt.Printf("stats: %s (try: nova-stat report -filter kernel_vmexits %s)\n", *statsFile, *statsFile)
+	}
 }
 
 func checksum(d *hw.Disk, lba uint64, sectors int) uint32 {

@@ -20,6 +20,7 @@ var SimCriticalPackages = []string{
 	ModulePath + "/internal/cap",
 	ModulePath + "/internal/trace",
 	ModulePath + "/internal/prof",
+	ModulePath + "/internal/stat",
 }
 
 // EntryPointPackages hold the kernel and device-model entry points that

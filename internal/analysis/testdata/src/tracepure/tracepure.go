@@ -146,3 +146,88 @@ type Buf struct{ n int }
 func (b *Buf) BadDrainWallClock() int64 { // want "reads the wall clock"
 	return time.Now().UnixNano()
 }
+
+// Metric mirrors stat.Metric: the resource-accounting layer rides the
+// same zero-perturbation contract as the tracer and profiler.
+type Metric struct {
+	total uint64
+	cells []uint64
+}
+
+// Registry mirrors stat.Registry.
+type Registry struct {
+	clk     *Clock
+	mem     *Mem
+	index   map[string]*Metric
+	ordered []*Metric
+}
+
+// Counter mirrors the stat.Counter handle.
+type Counter struct{ m *Metric }
+
+// Gauge mirrors the stat.Gauge handle.
+type Gauge struct{ m *Metric }
+
+// Add records into a counter without touching the simulation: fine.
+func (c Counter) Add(now Cycles, n uint64) {
+	if c.m == nil {
+		return
+	}
+	c.m.total += n
+}
+
+// BadSet charges virtual time from inside a gauge update.
+func (g Gauge) BadSet(clk *Clock, v uint64) { // want "charges simulated cycles"
+	clk.Charge(1)
+	g.m.total = v
+}
+
+// BadRegister mutates guest-visible state while registering a metric.
+func (r *Registry) BadRegister(name string) *Metric { // want "mutates guest-visible platform state"
+	r.mem.Write32(0, 1)
+	m := &Metric{}
+	r.index[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// BadSnapshot serializes by ranging over the lookup map instead of the
+// registration-ordered slice.
+func (r *Registry) BadSnapshot() []uint64 {
+	var out []uint64
+	for _, m := range r.index { // want "ranges over a map"
+		out = append(out, m.total)
+	}
+	return out
+}
+
+// GoodSnapshot walks the ordered slice; the map is lookup-only.
+func (r *Registry) GoodSnapshot() []uint64 {
+	var out []uint64
+	for _, m := range r.ordered {
+		out = append(out, m.total)
+	}
+	return out
+}
+
+// BadSnapshotWallClock stamps the snapshot with host time.
+func (r *Registry) BadSnapshotWallClock() int64 { // want "reads the wall clock"
+	return time.Now().UnixNano()
+}
+
+// Server is an instrumented component holding metric handles.
+type Server struct {
+	reqs Counter
+	clk  *Clock
+}
+
+// GoodCount is the accounting idiom: read virtual time, record.
+func (s *Server) GoodCount() {
+	s.reqs.Add(s.clk.Now(), 1)
+}
+
+// BadCountCharging does chargeable work inside the recording call's
+// arguments.
+func (s *Server) BadCountCharging(d *Device) {
+	s.reqs.Add(d.step(), 1) // want "charges simulated cycles"
+}

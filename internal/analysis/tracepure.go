@@ -10,9 +10,10 @@ import (
 // profile sample must be invisible to the simulation. Three rules:
 //
 //  1. Trace-layer functions — everything declared in a package named
-//     "trace" or "prof", plus methods on the trace types (Tracer,
-//     Ring, Histogram, CounterSet, Profiler, Buf) wherever they are
-//     declared — must not reach a cycle-charge sink (Clock.Charge,
+//     "trace", "prof" or "stat", plus methods on the trace types
+//     (Tracer, Ring, Histogram, CounterSet, Profiler, Buf, and the
+//     metric registry's Registry/Metric/Counter/Gauge) wherever they
+//     are declared — must not reach a cycle-charge sink (Clock.Charge,
 //     Kernel.charge/ChargeUser), a platform mutator (PortWrite,
 //     MMIOWrite, ...), or a wall-clock read (time.Now, ...).
 //     Reachability runs over the shared whole-program call graph, so
@@ -42,6 +43,9 @@ var Tracepure = &Analyzer{
 var traceTypeNames = map[string]bool{
 	"Tracer": true, "Ring": true, "Histogram": true, "CounterSet": true,
 	"Profiler": true, "Buf": true,
+	// internal/stat's registry layer rides the same contract: recording
+	// a metric must never charge, mutate, or read the wall clock.
+	"Registry": true, "Metric": true, "Counter": true, "Gauge": true,
 }
 
 func runTracepure(pass *Pass) {
@@ -124,10 +128,10 @@ func reportMapRanges(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
 }
 
 // isTraceLayerFunc reports whether fn belongs to the trace layer: any
-// function in a package named "trace" or "prof", or a method on one of
-// the trace types regardless of package.
+// function in a package named "trace", "prof" or "stat", or a method on
+// one of the trace types regardless of package.
 func isTraceLayerFunc(pkg *Package, fn *types.Func) bool {
-	if name := pkg.Types.Name(); name == "trace" || name == "prof" {
+	if name := pkg.Types.Name(); name == "trace" || name == "prof" || name == "stat" {
 		return true
 	}
 	return recvIsTraceType(fn)

@@ -22,6 +22,7 @@ type AblationRow struct {
 // interrupt coalescing (§8.3).
 func RunAblations(sc Scale) (*Table, []AblationRow, error) {
 	var rows []AblationRow
+	res := &Resources{}
 
 	runEPT := func(mod func(*guest.RunnerConfig)) (hw.Cycles, error) {
 		cfg := guest.RunnerConfig{
@@ -44,7 +45,9 @@ func RunAblations(sc Scale) (*Table, []AblationRow, error) {
 		binary.LittleEndian.PutUint32(params[16:], 1)
 		binary.LittleEndian.PutUint32(params[20:], uint32(sc.CachePasses))
 		r.WriteGuest(guest.ParamBase, params)
-		return r.RunUntilDone(1 << 40)
+		cy, err := r.RunUntilDone(1 << 40)
+		res.AddRun(r)
+		return cy, err
 	}
 	runVTLB := func(mod func(*guest.RunnerConfig)) (hw.Cycles, error) {
 		cfg := guest.RunnerConfig{
@@ -67,7 +70,9 @@ func RunAblations(sc Scale) (*Table, []AblationRow, error) {
 		binary.LittleEndian.PutUint32(params[16:], 1)
 		binary.LittleEndian.PutUint32(params[20:], uint32(sc.CachePasses))
 		r.WriteGuest(guest.ParamBase, params)
-		return r.RunUntilDone(1 << 40)
+		cy, err := r.RunUntilDone(1 << 40)
+		res.AddRun(r)
+		return cy, err
 	}
 
 	add := func(name string, base, abl hw.Cycles) {
@@ -122,13 +127,14 @@ func RunAblations(sc Scale) (*Table, []AblationRow, error) {
 			r.Plat.Cost.FreqMHz, 1472, 512, uint64(sc.Packets))
 		src.Start()
 		cy, err := r.RunUntilDone(1 << 42)
+		res.AddRun(r)
 		return cy, r.BusyFraction() * 100, err
 	}
-	_, utilOn, err := coal(20000)
+	coalOnCy, utilOn, err := coal(20000)
 	if err != nil {
 		return nil, nil, err
 	}
-	_, utilOff, err := coal(-1) // negative leaves hw.Config zero -> default; use 1 to disable
+	coalOffCy, utilOff, err := coal(-1) // negative leaves hw.Config zero -> default; use 1 to disable
 	if err != nil {
 		return nil, nil, err
 	}
@@ -145,5 +151,8 @@ func RunAblations(sc Scale) (*Table, []AblationRow, error) {
 		t.Rows = append(t.Rows, []string{r.Name, d(uint64(r.Baseline)), d(uint64(r.Ablated)), f2(r.Penalty)})
 	}
 	_ = utilOn
+	t.VirtualCycles = uint64(base) + uint64(noMTD) + uint64(noDS) +
+		uint64(vtlbBase) + uint64(noTrick) + uint64(coalOnCy) + uint64(coalOffCy)
+	t.Resources = res
 	return t, rows, nil
 }

@@ -65,6 +65,13 @@ type Table struct {
 	// were profiled (zero-perturbation: the numbers in Rows are
 	// bit-identical either way).
 	Prof *ProfSummary `json:"prof,omitempty"`
+	// VirtualCycles is the total simulated cycle count consumed by the
+	// experiment's runs — a deterministic quantity, unlike HostSeconds.
+	VirtualCycles uint64 `json:"virtual_cycles,omitempty"`
+	// Resources aggregates the runs' deterministic consumption totals
+	// (instructions, exits, IPC, DMA, ...), when the experiment ran
+	// guest workloads.
+	Resources *Resources `json:"resources,omitempty"`
 }
 
 func (t *Table) String() string {

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CompareResult partitions the differences between two bench reports.
+// Drift lists mismatches in deterministic fields — simulated results
+// that must be bit-identical across hosts, so any entry is a regression
+// (or an intentional change that needs a baseline refresh). Advisory
+// lists differences in host-dependent fields (wall-clock durations, Go
+// version, host-throughput rows), which never fail a comparison.
+type CompareResult struct {
+	Drift    []string
+	Advisory []string
+}
+
+// Failed reports whether the comparison found deterministic drift.
+func (c *CompareResult) Failed() bool { return len(c.Drift) > 0 }
+
+// hostDependentExperiments name experiments whose table rows measure
+// the host machine rather than the simulated platform. Their rows are
+// advisory; their VirtualCycles totals are still simulated quantities
+// and compared strictly.
+var hostDependentExperiments = map[string]bool{"hostperf": true}
+
+// Compare diffs two serialized bench reports (baseline first). It
+// refuses mismatched schema versions or scales outright, since row
+// layouts and workload sizes are only comparable within one schema and
+// one scale.
+func Compare(baseline, current []byte) (*CompareResult, error) {
+	var old, new Report
+	if err := json.Unmarshal(baseline, &old); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &new); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	c := &CompareResult{}
+	drift := func(format string, args ...any) {
+		c.Drift = append(c.Drift, fmt.Sprintf(format, args...))
+	}
+	advise := func(format string, args ...any) {
+		c.Advisory = append(c.Advisory, fmt.Sprintf(format, args...))
+	}
+
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("schema version mismatch: baseline v%d vs current v%d (refresh the baseline)",
+			old.SchemaVersion, new.SchemaVersion)
+	}
+	if old.Scale != new.Scale {
+		return nil, fmt.Errorf("scale mismatch: baseline %q vs current %q", old.Scale, new.Scale)
+	}
+	if old.GoVersion != new.GoVersion {
+		advise("go version: %s -> %s", old.GoVersion, new.GoVersion)
+	}
+	if old.TotalVirtualCycles != new.TotalVirtualCycles {
+		drift("total virtual cycles: %d -> %d (Δ=%+d)",
+			old.TotalVirtualCycles, new.TotalVirtualCycles,
+			int64(new.TotalVirtualCycles)-int64(old.TotalVirtualCycles))
+	}
+
+	newByName := map[string]Experiment{}
+	for _, e := range new.Experiments {
+		newByName[e.Name] = e
+	}
+	seen := map[string]bool{}
+	for _, oe := range old.Experiments {
+		seen[oe.Name] = true
+		ne, ok := newByName[oe.Name]
+		if !ok {
+			drift("experiment %q: present in baseline, missing from current", oe.Name)
+			continue
+		}
+		compareExperiment(oe, ne, drift, advise)
+	}
+	for _, ne := range new.Experiments {
+		if !seen[ne.Name] {
+			drift("experiment %q: present in current, missing from baseline", ne.Name)
+		}
+	}
+	return c, nil
+}
+
+func compareExperiment(old, new Experiment, drift, advise func(string, ...any)) {
+	name := old.Name
+	if old.HostSeconds != new.HostSeconds {
+		advise("%s: host seconds %.2f -> %.2f", name, old.HostSeconds, new.HostSeconds)
+	}
+	ot, nt := old.Table, new.Table
+	if (ot == nil) != (nt == nil) {
+		drift("%s: table presence differs", name)
+		return
+	}
+	if ot == nil {
+		return
+	}
+	if ot.VirtualCycles != nt.VirtualCycles {
+		drift("%s: virtual cycles %d -> %d (Δ=%+d)", name,
+			ot.VirtualCycles, nt.VirtualCycles, int64(nt.VirtualCycles)-int64(ot.VirtualCycles))
+	}
+	rowDiff := hostDependentExperiments[name]
+	report := drift
+	if rowDiff {
+		report = advise
+	}
+	if ot.Title != nt.Title {
+		report("%s: title %q -> %q", name, ot.Title, nt.Title)
+	}
+	if fmt.Sprint(ot.Columns) != fmt.Sprint(nt.Columns) {
+		report("%s: columns %v -> %v", name, ot.Columns, nt.Columns)
+	}
+	if len(ot.Rows) != len(nt.Rows) {
+		report("%s: row count %d -> %d", name, len(ot.Rows), len(nt.Rows))
+	} else {
+		for i := range ot.Rows {
+			if fmt.Sprint(ot.Rows[i]) != fmt.Sprint(nt.Rows[i]) {
+				report("%s row %d: %v -> %v", name, i, ot.Rows[i], nt.Rows[i])
+			}
+		}
+	}
+	if fmt.Sprint(ot.Notes) != fmt.Sprint(nt.Notes) {
+		report("%s: notes differ", name)
+	}
+	op, np := ot.Prof, nt.Prof
+	switch {
+	case (op == nil) != (np == nil):
+		drift("%s: profile summary presence differs", name)
+	case op != nil && *op != *np:
+		drift("%s: profile summary %+v -> %+v", name, *op, *np)
+	}
+	or, nr := ot.Resources, nt.Resources
+	switch {
+	case (or == nil) != (nr == nil):
+		drift("%s: resource profile presence differs", name)
+	case or != nil && *or != *nr:
+		drift("%s: resource profile %+v -> %+v", name, *or, *nr)
+	}
+}

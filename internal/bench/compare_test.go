@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a small report the way nova-bench does, then
+// serializes it so the tests exercise the real artifact path.
+func sampleReport(t *testing.T) []byte {
+	t.Helper()
+	r := &Report{Scale: "quick"}
+	r.Add("fig5", &Table{
+		Title:         "Figure 5",
+		Columns:       []string{"config", "measured %"},
+		Rows:          [][]string{{"Native", "100.0"}, {"NOVA", "99.2"}},
+		VirtualCycles: 12345,
+	})
+	r.Add("hostperf", &Table{
+		Title:         "Host performance",
+		Columns:       []string{"mode", "MIPS"},
+		Rows:          [][]string{{"native", "250.0"}},
+		VirtualCycles: 777,
+	})
+	r.SetHostSeconds("fig5", 1.5)
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestReportProvenance(t *testing.T) {
+	b := string(sampleReport(t))
+	for _, want := range []string{
+		`"schema_version": 2`,
+		`"scale": "quick"`,
+		`"go_version": "` + runtime.Version() + `"`,
+		`"total_virtual_cycles": 13122`, // 12345 + 777
+	} {
+		if !strings.Contains(b, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, b)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	b := sampleReport(t)
+	res, err := Compare(b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Errorf("identical reports drifted: %v", res.Drift)
+	}
+	if len(res.Advisory) != 0 {
+		t.Errorf("identical reports yielded advisories: %v", res.Advisory)
+	}
+}
+
+func TestCompareDetectsDeterministicDrift(t *testing.T) {
+	base := sampleReport(t)
+	cur := strings.Replace(string(base), `"99.2"`, `"98.7"`, 1)
+	cur = strings.Replace(cur, `"virtual_cycles": 12345`, `"virtual_cycles": 12999`, 1)
+	cur = strings.Replace(cur, `"total_virtual_cycles": 13122`, `"total_virtual_cycles": 13776`, 1)
+	res, err := Compare(base, []byte(cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("changed simulated results not flagged as drift")
+	}
+	joined := strings.Join(res.Drift, "\n")
+	for _, want := range []string{"fig5 row 1", "fig5: virtual cycles", "total virtual cycles"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("drift missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareHostFieldsAdvisory(t *testing.T) {
+	base := sampleReport(t)
+	cur := strings.Replace(string(base), `"host_seconds": 1.5`, `"host_seconds": 9.9`, 1)
+	cur = strings.Replace(cur, runtime.Version(), "go0.0-other", 1)
+	cur = strings.Replace(cur, `"250.0"`, `"40.0"`, 1) // hostperf MIPS row
+	res, err := Compare(base, []byte(cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Errorf("host-dependent changes flagged as drift: %v", res.Drift)
+	}
+	if len(res.Advisory) != 3 {
+		t.Errorf("advisory = %v, want go-version + host-seconds + hostperf-row entries", res.Advisory)
+	}
+}
+
+func TestCompareExperimentSetDrift(t *testing.T) {
+	base := sampleReport(t)
+	r := &Report{Scale: "quick"}
+	r.Add("fig5", &Table{Title: "Figure 5", Columns: []string{"config", "measured %"},
+		Rows: [][]string{{"Native", "100.0"}, {"NOVA", "99.2"}}, VirtualCycles: 12345})
+	cur, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("missing experiment not flagged")
+	}
+}
+
+func TestCompareScaleMismatch(t *testing.T) {
+	base := sampleReport(t)
+	cur := strings.Replace(string(base), `"scale": "quick"`, `"scale": "full"`, 1)
+	if _, err := Compare(base, []byte(cur)); err == nil {
+		t.Fatal("scale mismatch not rejected")
+	}
+	cur = strings.Replace(string(base), `"schema_version": 2`, `"schema_version": 1`, 1)
+	if _, err := Compare(base, []byte(cur)); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}

@@ -34,8 +34,9 @@ const (
 // runCompileConfig executes the compile workload under one
 // configuration and returns duration, total VM exits, and the run's
 // guest profile (sampling is zero-perturbation, so the first two are
-// identical with and without it).
-func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool) (hw.Cycles, uint64, *prof.Data, error) {
+// identical with and without it). The run's resource totals fold into
+// rs when non-nil.
+func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool, rs *Resources) (hw.Cycles, uint64, *prof.Data, error) {
 	img := guest.MustBuild(guest.CompileKernel(667))
 	if disk && (cfg.Mode == guest.ModeVirtEPT || cfg.Mode == guest.ModeVirtVTLB) {
 		cfg.WithDiskServer = true
@@ -65,6 +66,7 @@ func runCompileConfig(sc Scale, cfg guest.RunnerConfig, disk bool) (hw.Cycles, u
 	if v := r.VCPU(); v != nil {
 		exits = v.TotalExits()
 	}
+	rs.AddRun(r)
 	return cycles, exits, r.Prof.Data(), nil
 }
 
@@ -102,11 +104,14 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 	measured := map[string]Fig5Row{}
 	var profSum *ProfSummary
 	var nativeCycles hw.Cycles
+	var vcycles uint64
+	res := &Resources{}
 	for _, s := range intel {
-		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk)
+		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk, res)
 		if err != nil {
 			return nil, nil, fmt.Errorf("fig5 %s/%s: %w", s.group, s.label, err)
 		}
+		vcycles += uint64(cy)
 		mergeProf(&profSum, pd)
 		if s.label == "Native" {
 			nativeCycles = cy
@@ -149,10 +154,11 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 	}
 	var amdNative hw.Cycles
 	for _, s := range amd {
-		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk)
+		cy, exits, pd, err := runCompileConfig(sc, s.cfg, s.disk, res)
 		if err != nil {
 			return nil, nil, fmt.Errorf("fig5 %s/%s: %w", s.group, s.label, err)
 		}
+		vcycles += uint64(cy)
 		mergeProf(&profSum, pd)
 		if s.label == "Native" {
 			amdNative = cy
@@ -178,5 +184,7 @@ func RunFig5(sc Scale) (*Table, []Fig5Row, error) {
 		"measured = full stack executed; modeled = NOVA measurement + per-exit penalty constants; anchor = paper value shown for context",
 		fmt.Sprintf("scale %q: %d timeslices of the synthetic compile (paper: full Linux build, ~470 s)", sc.Name, sc.Slices))
 	t.Prof = profSum
+	t.VirtualCycles = vcycles
+	t.Resources = res
 	return t, rows, nil
 }

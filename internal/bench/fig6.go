@@ -36,6 +36,8 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 	}
 	var points []Fig6Point
 	var profSum *ProfSummary
+	var vcycles uint64
+	res := &Resources{}
 	img := guest.MustBuild(guest.DiskReadKernel())
 	for _, bs := range blockSizes {
 		for _, cfg := range modes {
@@ -56,6 +58,7 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("fig6 %v bs=%d: %w", cfg.Mode, bs, err)
 			}
+			vcycles += uint64(cycles)
 			p := Fig6Point{
 				BlockBytes:  bs,
 				Mode:        cfg.Mode,
@@ -68,6 +71,7 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 				_ = v.Exits[x86.ExitEPTViolation]
 			}
 			mergeProf(&profSum, r.Prof.Data())
+			res.AddRun(r)
 			points = append(points, p)
 		}
 	}
@@ -90,5 +94,7 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 		"direct assignment roughly doubles native utilization; full virtualization doubles it again (§8.2)",
 		"paper reference at 16K: native 3.7%, direct 7%; ~6 exits/request interrupt path + ~6 MMIO exits when virtualized")
 	t.Prof = profSum
+	t.VirtualCycles = vcycles
+	t.Resources = res
 	return t, points, nil
 }

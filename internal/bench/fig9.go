@@ -79,6 +79,8 @@ func RunFig9() (*Table, []Fig9Row, error) {
 	}
 	img := guest.MustBuild(vtlbMissKernel(pages))
 	var rows []Fig9Row
+	var vcycles uint64
+	res := &Resources{}
 	for _, s := range specs {
 		r, err := guest.NewRunner(guest.RunnerConfig{
 			Model: s.model, Mode: guest.ModeVirtVTLB, UseVPID: s.vpid,
@@ -88,9 +90,12 @@ func RunFig9() (*Table, []Fig9Row, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := r.RunUntilDone(1 << 40); err != nil {
+		cy, err := r.RunUntilDone(1 << 40)
+		if err != nil {
 			return nil, nil, fmt.Errorf("fig9 %s: %w", s.label, err)
 		}
+		vcycles += uint64(cy)
+		res.AddRun(r)
 		rd64 := func(off uint64) uint64 {
 			return uint64(r.ReadGuest32(guest.ParamBase+off)) |
 				uint64(r.ReadGuest32(guest.ParamBase+off+4))<<32
@@ -139,5 +144,7 @@ func RunFig9() (*Table, []Fig9Row, error) {
 	t.Notes = append(t.Notes,
 		"paper: the hardware transition accounts for ~80% of the total miss cost, falling with each CPU generation",
 		"per-miss totals cross-checked against the tracer's vtlb-fill histogram")
+	t.VirtualCycles = vcycles
+	t.Resources = res
 	return t, rows, nil
 }

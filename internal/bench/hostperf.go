@@ -30,6 +30,8 @@ func RunHostPerf(sc Scale) (*Table, error) {
 		{"vtlb", guest.RunnerConfig{Model: hw.BLM, Mode: guest.ModeVirtVTLB, UseVPID: true, HostLargePages: true}},
 	}
 
+	var vcycles uint64
+	res := &Resources{}
 	run := func(cfg guest.RunnerConfig, disableCache bool) (insts uint64, seconds float64, err error) {
 		cfg.DisableDecodeCache = disableCache
 		img := guest.MustBuild(guest.CompileKernel(667))
@@ -49,9 +51,12 @@ func RunHostPerf(sc Scale) (*Table, error) {
 		binary.LittleEndian.PutUint32(params[20:], uint32(sc.CachePasses))
 		r.WriteGuest(guest.ParamBase, params)
 		sw := walltime.Start()
-		if _, err := r.RunUntilDone(1 << 40); err != nil {
+		cy, err := r.RunUntilDone(1 << 40)
+		if err != nil {
 			return 0, 0, err
 		}
+		vcycles += uint64(cy)
+		res.AddRun(r)
 		return r.InstRet(), sw.Seconds(), nil
 	}
 
@@ -87,5 +92,7 @@ func RunHostPerf(sc Scale) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"host-side metric: wall-clock throughput of the simulator process, not a simulated quantity",
 		"cached/uncached runs retire identical instruction streams; only host speed differs")
+	t.VirtualCycles = vcycles
+	t.Resources = res
 	return t, nil
 }

@@ -2,15 +2,30 @@ package bench
 
 import (
 	"encoding/json"
+	"runtime"
 )
+
+// ReportSchemaVersion identifies the report layout. Bump it when a
+// field changes meaning so `nova-bench -compare` refuses to diff
+// incompatible artifacts instead of reporting nonsense drift.
+const ReportSchemaVersion = 2
 
 // Report is the machine-readable form of a bench run, written by
 // `nova-bench -out BENCH_<scale>.json`. It carries the same tables the
 // terminal output shows, so CI can archive one artifact per run and
 // diff results across revisions without screen-scraping.
+//
+// Provenance fields split two ways. SchemaVersion, Scale and
+// TotalVirtualCycles are properties of the simulated run and must be
+// bit-stable across hosts; GoVersion and the per-experiment HostSeconds
+// describe the machine that happened to run the benchmark and are
+// advisory only.
 type Report struct {
-	Scale       string       `json:"scale"`
-	Experiments []Experiment `json:"experiments"`
+	SchemaVersion      int          `json:"schema_version"`
+	Scale              string       `json:"scale"`
+	GoVersion          string       `json:"go_version"`
+	TotalVirtualCycles uint64       `json:"total_virtual_cycles"`
+	Experiments        []Experiment `json:"experiments"`
 }
 
 // Experiment is one named result table. HostSeconds is the host
@@ -49,9 +64,18 @@ func (r *Report) SetHostSeconds(name string, sec float64) {
 
 // JSON serializes the report, indented, trailing newline included.
 // An empty report encodes as "experiments": [] rather than null.
+// Provenance is stamped here so every written artifact carries it.
 func (r *Report) JSON() ([]byte, error) {
 	if r.Experiments == nil {
 		r.Experiments = []Experiment{}
+	}
+	r.SchemaVersion = ReportSchemaVersion
+	r.GoVersion = runtime.Version()
+	r.TotalVirtualCycles = 0
+	for _, e := range r.Experiments {
+		if e.Table != nil {
+			r.TotalVirtualCycles += e.Table.VirtualCycles
+		}
 	}
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

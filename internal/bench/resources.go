@@ -1,0 +1,55 @@
+package bench
+
+import "nova/internal/guest"
+
+// Resources is one experiment's aggregate resource profile: the
+// deterministic consumption totals of every run the experiment
+// performed, summed. All fields are simulated quantities, so the
+// compare gate diffs them strictly — a change in how many exits or
+// instructions an experiment consumes is drift even when its headline
+// figures still round the same way.
+type Resources struct {
+	Runs         int    `json:"runs"`
+	Instructions uint64 `json:"instructions"`
+	VMExits      uint64 `json:"vm_exits,omitempty"`
+	Hypercalls   uint64 `json:"hypercalls,omitempty"`
+	IPCCalls     uint64 `json:"ipc_calls,omitempty"`
+	VTLBFills    uint64 `json:"vtlb_fills,omitempty"`
+	VTLBFlushes  uint64 `json:"vtlb_flushes,omitempty"`
+	Injections   uint64 `json:"injections,omitempty"`
+	Emulated     uint64 `json:"emulated,omitempty"`
+	DiskRequests uint64 `json:"disk_requests,omitempty"`
+	DMABytes     uint64 `json:"dma_bytes,omitempty"`
+	RXPackets    uint64 `json:"rx_packets,omitempty"`
+}
+
+// AddRun folds one finished runner's aggregates into the profile.
+func (rs *Resources) AddRun(r *guest.Runner) {
+	if rs == nil || r == nil {
+		return
+	}
+	rs.Runs++
+	rs.Instructions += r.InstRet()
+	if v := r.VCPU(); v != nil {
+		rs.VMExits += v.TotalExits()
+	}
+	if r.K != nil {
+		rs.Hypercalls += r.K.Stats.Hypercalls
+		rs.IPCCalls += r.K.Stats.IPCCalls
+		rs.VTLBFills += r.K.Stats.VTLBFills
+		rs.VTLBFlushes += r.K.Stats.VTLBFlushes
+		rs.Injections += r.K.Stats.Injections
+	}
+	if r.VMM != nil {
+		rs.Emulated += r.VMM.Stats.Emulated
+		rs.DiskRequests += r.VMM.Stats.DiskRequests
+	}
+	if r.Plat != nil {
+		if ahci := r.Plat.AHCI; ahci != nil {
+			rs.DMABytes += ahci.Stats.DMABytes
+		}
+		if nic := r.Plat.NIC; nic != nil {
+			rs.RXPackets += nic.Stats.PacketsReceived
+		}
+	}
+}

@@ -183,6 +183,12 @@ func RunTab2(sc Scale) (*Table, []Tab2Column, error) {
 	t.Rows = append(t.Rows, []string{"Runtime (s)",
 		fmt.Sprintf("%.4f", ept.Seconds), "470", fmt.Sprintf("%.4f", vtlb.Seconds), "645",
 		fmt.Sprintf("%.4f", disk.Seconds), "10"})
+	t.VirtualCycles = uint64(eptCycles) + uint64(vtlbCycles) + uint64(diskCycles)
+	res := &Resources{}
+	res.AddRun(eptRun)
+	res.AddRun(vtlbRun)
+	res.AddRun(dr)
+	t.Resources = res
 
 	// §8.5: average VM exit cost breakdown for the EPT compile run.
 	exits := ept.Events["Total VM Exits"]

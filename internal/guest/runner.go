@@ -7,6 +7,7 @@ import (
 	"nova/internal/hypervisor"
 	"nova/internal/prof"
 	"nova/internal/services"
+	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/vmm"
 	"nova/internal/x86"
@@ -97,6 +98,14 @@ type RunnerConfig struct {
 	// ProfileCapacity is the per-CPU sample-buffer capacity (default
 	// 65536 samples when ProfilePeriod is set).
 	ProfileCapacity int
+
+	// StatEpoch, when non-zero, attaches the resource-accounting
+	// registry with that virtual-time epoch length in cycles (use
+	// stat.DefaultEpochLen for the default; zero leaves accounting
+	// off). Works in every mode, native included. Zero-perturbation:
+	// cycle totals, traces and final state are bit-identical with
+	// accounting on or off.
+	StatEpoch hw.Cycles
 }
 
 // Runner executes one guest kernel under one configuration and exposes
@@ -122,6 +131,10 @@ type Runner struct {
 
 	// Prof is the sampling profiler, set when Cfg.ProfilePeriod > 0.
 	Prof *prof.Profiler
+
+	// Stat is the resource-accounting registry, set when Cfg.StatEpoch
+	// is non-zero.
+	Stat *stat.Registry
 
 	guestBase uint64
 }
@@ -155,6 +168,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 		}
 		if cfg.ProfilePeriod > 0 {
 			r.Prof = r.BM.AttachProfiler(cfg.ProfilePeriod, profileCapacity(cfg))
+		}
+		if cfg.StatEpoch != 0 {
+			r.Stat = r.BM.AttachStats(cfg.StatEpoch)
 		}
 		return r, nil
 	}
@@ -249,6 +265,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 	if cfg.ProfilePeriod > 0 {
 		r.Prof = k.AttachProfiler(cfg.ProfilePeriod, profileCapacity(cfg))
 	}
+	if cfg.StatEpoch != 0 {
+		r.Stat = k.AttachStats(cfg.StatEpoch)
+	}
 	return r, nil
 }
 
@@ -274,6 +293,16 @@ func (r *Runner) EncodeProfile(topN int) ([]byte, error) {
 		r.Prof.CaptureCode(topN, read)
 	}
 	return r.Prof.Encode()
+}
+
+// EncodeStats snapshots the resource-accounting registry at the
+// current virtual time and serializes it. Call it after the run
+// finishes.
+func (r *Runner) EncodeStats() ([]byte, error) {
+	if r.Stat == nil {
+		return nil, fmt.Errorf("guest: no stat registry attached (set StatEpoch)")
+	}
+	return r.Stat.Snapshot(r.Clock().Now()).Encode()
 }
 
 // NICVector is the guest interrupt vector of the passthrough NIC

@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/hw"
 	"nova/internal/prof"
+	"nova/internal/stat"
 	"nova/internal/x86"
 )
 
@@ -21,6 +22,10 @@ type BareMetal struct {
 	// Prof, when set, samples execution on the virtual-time grid (same
 	// zero-perturbation contract as the kernel's profiler).
 	Prof *prof.Profiler
+
+	// Stat, when set, carries the native run's resource accounting
+	// (instruction and device totals; a native run has no exits or IPC).
+	Stat *stat.Registry
 }
 
 // AttachProfiler enables virtual-time sampling on the native run.
@@ -37,6 +42,36 @@ func (b *BareMetal) AttachProfiler(period uint64, capacity int) *prof.Profiler {
 		b.Prof.Tick(0, clk.Now(), prof.ModeGuest, profCtx(&b.State, read))
 	}
 	return b.Prof
+}
+
+// AttachStats enables resource accounting on the native run: retired
+// instructions plus the host device-model totals, so native and
+// virtualized profiles of the same workload are directly comparable.
+//
+// nocharge: observability plumbing; attaching the registry models no
+// hardware work and must not move the clock (zero-perturbation rule).
+func (b *BareMetal) AttachStats(epochLen hw.Cycles) *stat.Registry {
+	cost := b.Plat.Cost
+	r := stat.New(stat.Meta{
+		Model:   cost.Model.String(),
+		FreqMHz: cost.FreqMHz,
+		NumCPUs: len(b.Plat.CPUs),
+	}, epochLen)
+	b.Stat = r
+	r.RegisterSampler(stat.Name("guest_instructions", "vm", "native", "vcpu", "0"),
+		func() uint64 { return b.Interp.InstRet })
+	if ahci := b.Plat.AHCI; ahci != nil {
+		r.RegisterSampler("hw_ahci_commands", func() uint64 { return ahci.Stats.Commands })
+		r.RegisterSampler("hw_ahci_dma_bytes", func() uint64 { return ahci.Stats.DMABytes })
+		r.RegisterSampler("hw_ahci_irqs", func() uint64 { return ahci.Stats.IRQs })
+	}
+	if nic := b.Plat.NIC; nic != nil {
+		r.RegisterSampler("hw_nic_rx_packets", func() uint64 { return nic.Stats.PacketsReceived })
+		r.RegisterSampler("hw_nic_rx_bytes", func() uint64 { return nic.Stats.BytesReceived })
+		r.RegisterSampler("hw_nic_irqs", func() uint64 { return nic.Stats.IRQs })
+		r.RegisterSampler("hw_nic_dropped", func() uint64 { return nic.Stats.PacketsDropped })
+	}
+	return r
 }
 
 // ProfCodeReader returns a pure byte reader over the OS's address

@@ -117,6 +117,8 @@ func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
 	end := k.Now()
 	k.Tracer.Emit(k.cpu, end, trace.KindIPCReply, pt.UID, uint64(end-t0), crossAS, 0)
 	k.Tracer.ObserveIPC(uint64(end - t0))
+	from.stats.ipc(end, uint64(words))
+	k.statIPCLatency.Observe(end, uint64(end-t0))
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/prof"
+	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/x86"
 )
@@ -121,6 +122,18 @@ type Kernel struct {
 	// all recording is nil-safe, charges nothing, and two profiled runs
 	// of the same workload must produce byte-identical profiles.
 	Prof *prof.Profiler
+
+	// Stat, when set, aggregates per-object resource accounting
+	// (exits, IPC, vTLB activity, scheduler consumption) into
+	// virtual-time epochs. Same zero-perturbation contract as Tracer
+	// and Prof: all recording is nil-safe, charges nothing, and two
+	// accounted runs of the same workload produce byte-identical
+	// snapshots. The cached handles below keep the hot paths free of
+	// name formatting.
+	Stat           *stat.Registry
+	statIPCLatency stat.Histogram
+	statReadyWait  stat.Histogram
+	statRunqDepth  []stat.Gauge
 
 	// Kernel-object identity counters: every PD, EC and semaphore gets
 	// a small dense id and every portal a uid, so trace events can name
@@ -307,6 +320,7 @@ func (k *Kernel) syscallEnter(caller *PD) error {
 	}
 	k.Stats.Hypercalls++
 	k.Tracer.Emit(k.cpu, k.Now(), trace.KindHypercall, uint64(caller.ID), 0, 0, 0)
+	caller.stats.hypercall(k.Now())
 	k.charge(k.Plat.Cost.SyscallEntryExit)
 	return nil
 }
@@ -334,6 +348,9 @@ func (k *Kernel) CreatePD(caller *PD, sel cap.Selector, name string, isVM bool) 
 	}
 	// caphold: kernel PD registry for domain accounting; DestroyPD marks entries dead; teardown=DestroyPD
 	k.pds = append(k.pds, pd)
+	if k.Stat != nil {
+		k.attachStatPD(pd)
+	}
 	return pd, nil
 }
 
@@ -356,6 +373,9 @@ func (k *Kernel) CreateEC(caller *PD, sel cap.Selector, pd *PD, cpu int, name st
 	}
 	// caphold: kernel EC registry, walked to kill a domain's ECs; teardown=DestroyPD
 	k.ecs = append(k.ecs, ec)
+	if k.Stat != nil {
+		k.attachStatEC(ec)
+	}
 	return ec, nil
 }
 
@@ -405,6 +425,9 @@ func (k *Kernel) CreateVCPU(caller *PD, sel cap.Selector, vm *PD, cpu int, name 
 	}
 	// caphold: kernel EC registry, walked to kill a domain's ECs; teardown=DestroyPD
 	k.ecs = append(k.ecs, ec)
+	if k.Stat != nil {
+		k.attachStatEC(ec)
+	}
 	return ec, nil
 }
 

@@ -35,6 +35,10 @@ type PD struct {
 	// (Figure 5's small-vs-large host page comparison).
 	HostLargePages bool
 
+	// stats caches this domain's resource-accounting handles (set when
+	// a stat registry attaches; nil means accounting is off).
+	stats *pdStats
+
 	dead bool
 }
 
@@ -86,6 +90,10 @@ type EC struct {
 	// semaphore or wait for their next wakeup.
 	runnable  bool
 	waitingOn *Semaphore
+
+	// stats caches this EC's scheduler accounting handles (set when a
+	// stat registry attaches; nil means accounting is off).
+	stats *ecStats
 
 	dead bool
 }
@@ -216,6 +224,10 @@ type VCPU struct {
 	// stack walker uses for this vCPU (set when a profiler attaches;
 	// never touches guest-visible state).
 	profRead prof.MemReader
+
+	// stats caches this vCPU's resource-accounting handles (set when a
+	// stat registry attaches; nil means accounting is off).
+	stats *vcpuStats
 }
 
 // TotalExits sums all exit reasons.

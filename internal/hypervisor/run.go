@@ -70,6 +70,8 @@ func (k *Kernel) Run(until hw.Cycles) string {
 		wait := clk.Now() - sc.enqueuedAt
 		k.Tracer.Emit(k.cpu, clk.Now(), trace.KindSchedDispatch, uint64(ec.ID), uint64(sc.Priority), uint64(wait), 0)
 		k.Tracer.ObserveDispatch(uint64(wait))
+		ec.stats.dispatch(clk.Now())
+		k.statRunq(clk.Now(), uint64(wait))
 
 		switch ec.Kind {
 		case ECThread:
@@ -96,6 +98,7 @@ func (k *Kernel) Run(until hw.Cycles) string {
 			start := clk.Now()
 			k.runVCPU(ec, deadline)
 			used := clk.Now() - start
+			ec.stats.ran(clk.Now(), uint64(used))
 			if used >= sc.Left {
 				sc.Left = sc.Quantum // fresh quantum, back of the level
 			} else {
@@ -160,6 +163,7 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 					if vec, ok := k.Plat.PIC.Acknowledge(); ok {
 						v.InjectedIRQs++
 						k.Tracer.Emit(k.cpu, clk.Now(), trace.KindInject, uint64(vec), uint64(ec.ID), 0, 0)
+						v.stats.inject(clk.Now())
 						if err := v.Interp.Interrupt(vec); err != nil {
 							k.handleGuestRunError(ec, err)
 						}
@@ -206,6 +210,7 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 				k.Stats.Injections++
 				v.InjectedIRQs++
 				k.Tracer.Emit(k.cpu, clk.Now(), trace.KindInject, uint64(v.PendingVector), uint64(ec.ID), 0, 0)
+				v.stats.inject(clk.Now())
 				k.charge(2 * cost.VMRead) // event-injection VMWRITEs
 				if err := v.Interp.Interrupt(v.PendingVector); err != nil {
 					k.handleGuestRunError(ec, err)

@@ -63,6 +63,7 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 		end := k.Now()
 		k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
 		k.Tracer.ObserveExit(uint64(end - t0))
+		v.stats.exit(exit.Reason, end, uint64(end-t0))
 		k.profExit(ec, profRIP, profDef32, end-t0)
 		return nil
 	}
@@ -116,6 +117,7 @@ func (k *Kernel) dispatchExit(ec *EC, exit *x86.VMExit) error {
 	end := k.Now()
 	k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(exit.Reason), uint64(end-t0), uint64(ec.ID), 0)
 	k.Tracer.ObserveExit(uint64(end - t0))
+	v.stats.exit(exit.Reason, end, uint64(end-t0))
 	k.profExit(ec, profRIP, profDef32, end-t0)
 	return nil
 }
@@ -140,6 +142,7 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 					tlb.FlushTag(ec.PD.Tag)
 					k.Stats.VTLBFlushes++
 					k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 0, uint64(ec.ID), 0, 0)
+					v.stats.flush(k.Now())
 				}
 			case 3:
 				v.State.CR3 = exit.CRVal
@@ -147,6 +150,7 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 				tlb.FlushTag(ec.PD.Tag)
 				k.Stats.VTLBFlushes++
 				k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 3, uint64(ec.ID), 0, 0)
+				v.stats.flush(k.Now())
 				k.charge(hw.Cycles(v.Shadow.Len()) / 4)
 			case 4:
 				v.State.CR4 = exit.CRVal
@@ -154,6 +158,7 @@ func (k *Kernel) handleVTLBExit(ec *EC, exit *x86.VMExit) bool {
 				tlb.FlushTag(ec.PD.Tag)
 				k.Stats.VTLBFlushes++
 				k.Tracer.Emit(k.cpu, k.Now(), trace.KindVTLBFlush, 4, uint64(ec.ID), 0, 0)
+				v.stats.flush(k.Now())
 			case 2:
 				v.State.CR2 = exit.CRVal
 			}
@@ -265,6 +270,7 @@ func (k *Kernel) handleHostInterrupts(guest *EC) {
 			end := k.Now()
 			k.Tracer.Emit(k.cpu, end, trace.KindVMResume, uint64(x86.ExitExternalInterrupt), uint64(end-t0), uint64(guest.ID), 0)
 			k.Tracer.ObserveExit(uint64(end - t0))
+			guest.VCPU.stats.exit(x86.ExitExternalInterrupt, end, uint64(end-t0))
 			k.profExit(guest, profRIP, profDef32, end-t0)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/stat"
 	"nova/internal/trace"
 )
 
@@ -58,6 +59,12 @@ type diskClient struct {
 	doorbell    *hypervisor.Semaphore
 	throttled   bool
 	requests    uint64
+
+	// Precomputed per-client metric names (empty until a stat registry
+	// attaches is fine: recording is nil-safe at the registry).
+	statReqs     string
+	statSectors  string
+	statDMABytes string
 }
 
 // DiskServer owns the host AHCI controller and serves virtual-machine
@@ -209,7 +216,12 @@ func (ds *DiskServer) AddClient(clientPD *hypervisor.PD, name string) (*hypervis
 	}
 	ds.nextID++
 	id := ds.nextID
-	cl := &diskClient{id: id, name: name, pd: clientPD, doorbell: bell}
+	cl := &diskClient{
+		id: id, name: name, pd: clientPD, doorbell: bell,
+		statReqs:     stat.Name("disk_server_requests", "client", name),
+		statSectors:  stat.Name("disk_server_sectors", "client", name),
+		statDMABytes: stat.Name("disk_server_dma_bytes", "client", name),
+	}
 	ds.clients[id] = cl
 	pt, err := ds.K.CreatePortal(ds.PD, ds.PD.Caps.AllocSel(), "disk-"+name, id, 0, func(msg *hypervisor.UTCB) error {
 		return ds.handleRequest(cl, msg)
@@ -303,6 +315,16 @@ func (ds *DiskServer) handleRequest(cl *diskClient, msg *hypervisor.UTCB) error 
 	cl.requests++
 	ds.Stats.Requests++
 	ds.Stats.Sectors += uint64(req.Count)
+	if r := ds.K.Stat; r != nil {
+		now := ds.K.Now()
+		r.Add(cl.statReqs, now, 1)
+		r.Add(cl.statSectors, now, uint64(req.Count))
+		dma := uint64(0)
+		for _, b := range req.Bufs {
+			dma += uint64(b.Len)
+		}
+		r.Add(cl.statDMABytes, now, dma)
+	}
 	ds.issue(slot, cl, req)
 	msg.Words = []uint64{1}
 	return nil
@@ -362,6 +384,7 @@ func (ds *DiskServer) issue(slot int, cl *diskClient, req DiskRequest) {
 // doorbell.
 func (ds *DiskServer) handleIRQ() {
 	ds.Stats.IRQs++
+	ds.K.Stat.Add("disk_server_irqs", ds.K.Now(), 1)
 	is := ds.mmioRead(portIS)
 	ds.mmioWrite(portIS, is) // acknowledge at the device
 	ds.mmioWrite(regIS, 1)

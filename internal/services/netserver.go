@@ -6,6 +6,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/stat"
 	"nova/internal/trace"
 )
 
@@ -50,6 +51,11 @@ type netClient struct {
 	pd       *hypervisor.PD
 	doorbell *hypervisor.Semaphore
 	queue    [][]byte
+
+	// Precomputed per-client metric names (recording is nil-safe at the
+	// registry, so these are always set).
+	statPkts  string
+	statBytes string
 }
 
 const netBufSize = 2048
@@ -146,7 +152,11 @@ func (ns *NetServer) AddClient(pd *hypervisor.PD, name string) (uint64, *hypervi
 		return 0, nil, err
 	}
 	ns.nextID++
-	ns.clients[ns.nextID] = &netClient{name: name, pd: pd, doorbell: bell}
+	ns.clients[ns.nextID] = &netClient{
+		name: name, pd: pd, doorbell: bell,
+		statPkts:  stat.Name("net_server_delivered_packets", "client", name),
+		statBytes: stat.Name("net_server_delivered_bytes", "client", name),
+	}
 	return ns.nextID, bell, nil
 }
 
@@ -165,6 +175,7 @@ func (ns *NetServer) Receive(clientID uint64) [][]byte {
 // payloads, return the slots, ring client doorbells.
 func (ns *NetServer) handleIRQ() {
 	ns.Stats.IRQs++
+	ns.K.Stat.Add("net_server_irqs", ns.K.Now(), 1)
 	ns.mmioRead(0x00c0) // ICR read-to-clear
 	mem := ns.K.Plat.Mem
 	delivered := map[*netClient]bool{}
@@ -196,6 +207,11 @@ func (ns *NetServer) handleIRQ() {
 			ns.Stats.Delivered++
 			nDelivered++
 			delivered[cl] = true
+			if r := ns.K.Stat; r != nil {
+				now := ns.K.Now()
+				r.Add(cl.statPkts, now, 1)
+				r.Add(cl.statBytes, now, uint64(length))
+			}
 		}
 		ns.K.Tracer.Emit(ns.K.CurCPU(), ns.K.Now(), trace.KindNetRX, uint64(length), nDelivered, 0, 0)
 

@@ -1,0 +1,98 @@
+package stat
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nova/internal/trace"
+)
+
+// magic identifies a serialized stats snapshot (version 1).
+const magic = "NOVASTA1"
+
+// MetricData is the serialized form of one metric.
+type MetricData struct {
+	Name   string               `json:"name"`
+	Kind   string               `json:"kind"`
+	Total  uint64               `json:"total"`
+	Max    uint64               `json:"max,omitempty"`
+	Hist   *trace.HistogramData `json:"hist,omitempty"`
+	Epochs []EpochCell          `json:"epochs,omitempty"`
+}
+
+// Family splits the metric name into its family and label part:
+// `kernel_vmexits{vm="vm0"}` → (`kernel_vmexits`, `{vm="vm0"}`).
+func (m *MetricData) Family() (family, labels string) {
+	if i := strings.IndexByte(m.Name, '{'); i >= 0 {
+		return m.Name[:i], m.Name[i:]
+	}
+	return m.Name, ""
+}
+
+// Data is a decoded (or freshly snapshotted) stats file.
+type Data struct {
+	Meta        Meta         `json:"meta"`
+	FinalCycles uint64       `json:"final_cycles"`
+	Metrics     []MetricData `json:"metrics"` // sorted by name
+}
+
+// body is the second file section: everything but the meta.
+type body struct {
+	FinalCycles uint64       `json:"final_cycles"`
+	Metrics     []MetricData `json:"metrics"`
+}
+
+// Encode serializes the snapshot: magic, meta JSON section, body JSON
+// section (the trace package's length-prefixed framing). Struct-based
+// JSON has a fixed field order and the metrics are name-sorted, so two
+// snapshots of identical runs serialize to identical bytes.
+func (d *Data) Encode() ([]byte, error) {
+	if d == nil {
+		return nil, fmt.Errorf("stat: nil snapshot")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	metaJSON, err := json.Marshal(d.Meta)
+	if err != nil {
+		return nil, err
+	}
+	trace.WriteSection(&buf, metaJSON)
+	bodyJSON, err := json.Marshal(body{FinalCycles: d.FinalCycles, Metrics: d.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	trace.WriteSection(&buf, bodyJSON)
+	return buf.Bytes(), nil
+}
+
+// Decode parses a serialized stats snapshot.
+func Decode(b []byte) (*Data, error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("stat: bad magic (not a nova stats file)")
+	}
+	b = b[len(magic):]
+	metaJSON, b, err := trace.ReadSection(b)
+	if err != nil {
+		return nil, fmt.Errorf("stat: meta: %w", err)
+	}
+	d := &Data{}
+	if err := json.Unmarshal(metaJSON, &d.Meta); err != nil {
+		return nil, fmt.Errorf("stat: meta: %w", err)
+	}
+	bodyJSON, b, err := trace.ReadSection(b)
+	if err != nil {
+		return nil, fmt.Errorf("stat: body: %w", err)
+	}
+	var bd body
+	if err := json.Unmarshal(bodyJSON, &bd); err != nil {
+		return nil, fmt.Errorf("stat: body: %w", err)
+	}
+	d.FinalCycles = bd.FinalCycles
+	d.Metrics = bd.Metrics
+	if len(b) != 0 {
+		return nil, fmt.Errorf("stat: %d trailing bytes", len(b))
+	}
+	return d, nil
+}

@@ -1,0 +1,74 @@
+package stat
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the snapshot as indented JSON (struct-based, fixed field
+// order, metrics name-sorted — deterministic).
+func (d *Data) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// OpenMetrics renders the snapshot in the OpenMetrics text format:
+// counters as `family_total`, gauges and samples as plain gauges,
+// histograms as cumulative `_bucket{le=...}` series plus `_count` and
+// `_sum`. Epoch cells are not rendered here (they are a simulation
+// concept); use JSON or the nova-stat epochs view for the time series.
+func (d *Data) OpenMetrics() []byte {
+	var buf bytes.Buffer
+	lastFamily := ""
+	for i := range d.Metrics {
+		m := &d.Metrics[i]
+		family, labels := m.Family()
+		if family != lastFamily {
+			switch m.Kind {
+			case "counter":
+				fmt.Fprintf(&buf, "# TYPE %s counter\n", family)
+			case "histogram":
+				fmt.Fprintf(&buf, "# TYPE %s histogram\n", family)
+			default:
+				fmt.Fprintf(&buf, "# TYPE %s gauge\n", family)
+			}
+			lastFamily = family
+		}
+		switch m.Kind {
+		case "counter":
+			fmt.Fprintf(&buf, "%s_total%s %d\n", family, labels, m.Total)
+		case "histogram":
+			fmt.Fprintf(&buf, "%s_count%s %d\n", family, labels, m.Total)
+			if m.Hist != nil {
+				fmt.Fprintf(&buf, "%s_sum%s %d\n", family, labels, m.Hist.Sum)
+				cum := uint64(0)
+				for _, b := range m.Hist.Buckets {
+					cum += b.Count
+					fmt.Fprintf(&buf, "%s_bucket%s %d\n", family,
+						withLabel(labels, "le", fmt.Sprintf("%d", b.Hi)), cum)
+				}
+				fmt.Fprintf(&buf, "%s_bucket%s %d\n", family,
+					withLabel(labels, "le", "+Inf"), m.Hist.Count)
+			}
+		default: // gauge, sample
+			fmt.Fprintf(&buf, "%s%s %d\n", family, labels, m.Total)
+		}
+	}
+	buf.WriteString("# EOF\n")
+	return buf.Bytes()
+}
+
+// withLabel merges one extra label into an existing `{...}` label block
+// (or creates the block).
+func withLabel(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}

@@ -22,6 +22,7 @@ const VIPIPort = 0xf2
 // virtual device's state machine (§7.2).
 func (m *VMM) handleIO(msg *hypervisor.UTCB) error {
 	m.Stats.PortIO++
+	m.count(m.statNames.pio, 1)
 	m.K.ChargeUser(m.K.Plat.Cost.DeviceModelUpdate)
 	if m.SabotageIO {
 		// Attack-scenario hook: a compromised VMM crashing in its
@@ -57,6 +58,7 @@ func (m *VMM) sendIPI(val uint32) {
 		return
 	}
 	m.Stats.Injected++
+	m.count(m.statNames.injected, 1)
 	m.K.InjectIRQ(m.PD, m.ECs[target], vector) //nolint:errcheck
 }
 
@@ -109,6 +111,7 @@ func (m *VMM) portWrite(port uint16, size int, val uint32) {
 func (m *VMM) mmioRead(gpa uint64, size int) (uint32, bool) {
 	if m.vAHCI != nil && gpa >= VAHCIBase && gpa < VAHCIBase+0x1000 {
 		m.Stats.MMIO++
+		m.count(m.statNames.mmio, 1)
 		val := m.vAHCI.MMIORead(uint32(gpa-VAHCIBase), size)
 		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindMMIO, gpa, 1, uint64(val), uint64(size))
 		m.K.Tracer.Count("mmio.vahci", 1)
@@ -121,6 +124,7 @@ func (m *VMM) mmioRead(gpa uint64, size int) (uint32, bool) {
 func (m *VMM) mmioWrite(gpa uint64, size int, val uint32) bool {
 	if m.vAHCI != nil && gpa >= VAHCIBase && gpa < VAHCIBase+0x1000 {
 		m.Stats.MMIO++
+		m.count(m.statNames.mmio, 1)
 		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindMMIO, gpa, 0, uint64(val), uint64(size))
 		m.K.Tracer.Count("mmio.vahci", 1)
 		m.vAHCI.MMIOWrite(uint32(gpa-VAHCIBase), size, val)

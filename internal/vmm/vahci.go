@@ -202,6 +202,7 @@ func (a *VAHCI) issue(slot int) {
 		a.inflight |= 1 << uint(slot)
 		a.tfd |= 0x80
 		m.Stats.DiskRequests++
+		m.count(m.statNames.diskReqs, 1)
 		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindDiskRequest, uint64(op), lba, uint64(count), uint64(slot))
 		req := services.DiskRequest{Op: op, LBA: lba, Count: count, Bufs: bufs, Cookie: uint64(slot)}
 		msg := &hypervisor.UTCB{Words: services.EncodeRequest(&req)}
