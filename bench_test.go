@@ -209,10 +209,11 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.ReportMetric(float64(r.BM.Interp.InstRet-ret0)/float64(b.N), "guest-insts/op")
 }
 
-// BenchmarkStepHotLoop measures the interpreter Step loop with the
-// decoded-instruction cache enabled vs disabled. The two configurations
-// must produce bit-identical simulation results (enforced by
-// TestDecodeCacheABIdentity); only host ns/op may differ.
+// BenchmarkStepHotLoop measures the interpreter's single-step loop with
+// the decoded-instruction cache enabled vs disabled (superblock fusion
+// off in both, so the step path itself is what's timed). The two
+// configurations must produce bit-identical simulation results
+// (enforced by TestDecodeCacheABIdentity); only host ns/op may differ.
 func BenchmarkStepHotLoop(b *testing.B) {
 	for _, tc := range []struct {
 		name     string
@@ -222,27 +223,54 @@ func BenchmarkStepHotLoop(b *testing.B) {
 		{"uncached", true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			img := guest.MustBuild(guest.ComputeKernel(false, false, 0))
-			r, err := guest.NewRunner(guest.RunnerConfig{
-				Model: hw.BLM, Mode: guest.ModeNative, DisableDecodeCache: tc.disabled,
-			}, img)
-			if err != nil {
-				b.Fatal(err)
-			}
-			params := make([]byte, 8)
-			binary.LittleEndian.PutUint32(params[0:], 1<<30)
-			binary.LittleEndian.PutUint32(params[4:], 64<<10)
-			r.WriteGuest(guest.ParamBase, params)
-			b.ResetTimer()
-			ret0 := r.BM.Interp.InstRet
-			for r.BM.Interp.InstRet-ret0 < uint64(b.N) {
-				if err := r.BM.Run(r.Clock().Now() + 1_000_000); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(r.BM.Interp.InstRet-ret0)/float64(b.N), "guest-insts/op")
+			benchHotLoop(b, guest.RunnerConfig{
+				Model: hw.BLM, Mode: guest.ModeNative,
+				DisableDecodeCache: tc.disabled, DisableSuperblocks: true,
+			})
 		})
 	}
+}
+
+// BenchmarkSuperblockHotLoop measures fused superblock execution against
+// the plain cached step path on the same hot loop. Both configurations
+// must produce bit-identical simulation results (enforced by
+// TestSuperblockABIdentity); only host ns/op may differ.
+func BenchmarkSuperblockHotLoop(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"fused", false},
+		{"stepped", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchHotLoop(b, guest.RunnerConfig{
+				Model: hw.BLM, Mode: guest.ModeNative, DisableSuperblocks: tc.disabled,
+			})
+		})
+	}
+}
+
+// benchHotLoop drives the compute kernel's hot loop natively until b.N
+// guest instructions have retired under the given interpreter config.
+func benchHotLoop(b *testing.B, cfg guest.RunnerConfig) {
+	img := guest.MustBuild(guest.ComputeKernel(false, false, 0))
+	r, err := guest.NewRunner(cfg, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([]byte, 8)
+	binary.LittleEndian.PutUint32(params[0:], 1<<30)
+	binary.LittleEndian.PutUint32(params[4:], 64<<10)
+	r.WriteGuest(guest.ParamBase, params)
+	b.ResetTimer()
+	ret0 := r.BM.Interp.InstRet
+	for r.BM.Interp.InstRet-ret0 < uint64(b.N) {
+		if err := r.BM.Run(r.Clock().Now() + 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.BM.Interp.InstRet-ret0)/float64(b.N), "guest-insts/op")
 }
 
 // BenchmarkAssembler measures kernel image assembly.

@@ -124,13 +124,49 @@ func report(d *prof.Data, top int) {
 	}
 	fmt.Println("\nhot addresses (sampled + attributed cycles):")
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "ADDR\tSAMPLES\tEXITS\tFILLS\tEMULS\tCYCLES\tCODE")
+	fmt.Fprintln(w, "ADDR\tSAMPLES\tEXITS\tFILLS\tEMULS\tCYCLES\tFUSE\tCODE")
+	var fuseWeight, codeWeight uint64
 	for _, h := range hot {
-		fmt.Fprintf(w, "0x%08x\t%d\t%d\t%d\t%d\t%d\t%s\n",
+		mark := fuseMark(d, h.Addr, h.Def32)
+		if mark != "" {
+			codeWeight += h.Samples
+			if mark == "fuse" {
+				fuseWeight += h.Samples
+			}
+		}
+		fmt.Fprintf(w, "0x%08x\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 			h.Addr, h.Samples, h.Exits, h.Fills, h.Emuls, h.TotalCycles(),
-			disasm(d, h.Addr, h.Def32))
+			mark, disasm(d, h.Addr, h.Def32))
 	}
 	w.Flush() //nolint:errcheck
+	if codeWeight > 0 {
+		fmt.Printf("\nfusibility: %.1f%% of the sampled weight at hot addresses with captured code\n"+
+			"is superblock-fusible (see `fuse` rows); fusible runs of length >= 2 execute\n"+
+			"as fused blocks when no profiler is attached\n",
+			100*float64(fuseWeight)/float64(codeWeight))
+	}
+}
+
+// fuseMark classifies a hot address for the superblock layer: "fuse"
+// when the captured instruction is fusible (x86.InstFusible — it can
+// sit inside a fused superblock), "-" when it forces single-stepping
+// (memory operand, privileged, faulting, extra-cycle forms), and empty
+// when the profile carries no code bytes for the site.
+func fuseMark(d *prof.Data, addr uint32, def32 bool) string {
+	for _, site := range d.Code {
+		if site.Addr != addr || site.Def32 != def32 {
+			continue
+		}
+		inst, err := x86.Decode(&x86.BytesFetcher{Data: site.Bytes}, site.Def32)
+		if err != nil {
+			return ""
+		}
+		if x86.InstFusible(inst) {
+			return "fuse"
+		}
+		return "-"
+	}
+	return ""
 }
 
 // disasm renders the captured instruction bytes at a hot address, if

@@ -47,6 +47,7 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write counters and histograms as JSON to this file")
 	traceCap := flag.Int("trace-capacity", 65536, "per-CPU event-ring capacity for -trace/-metrics")
 	decodeCache := flag.Bool("decode-cache", true, "host-side decoded-instruction cache (results are bit-identical either way)")
+	superblocks := flag.Bool("superblocks", true, "fused superblock execution on top of the decode cache (results are bit-identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the host process to this file")
 	profFile := flag.String("prof", "", "write a virtual-time guest profile to this file (read it with nova-prof)")
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *workload == "boot" {
-		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache,
+		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache, !*superblocks,
 			*profFile, *profPeriod, *statsFile, hw.Cycles(*statsEpoch))
 		stopProfiles()
 		return
@@ -95,7 +96,7 @@ func main() {
 
 	img := guest.MustBuild(opts)
 	cfg := guest.RunnerConfig{Model: model, Mode: mode, UseVPID: true, HostLargePages: true,
-		DisableDecodeCache: !*decodeCache}
+		DisableDecodeCache: !*decodeCache, DisableSuperblocks: !*superblocks}
 	if withDisk && (mode == guest.ModeVirtEPT || mode == guest.ModeVirtVTLB) {
 		cfg.WithDiskServer = true
 	}
@@ -269,7 +270,7 @@ func startProfiles(cpuFile, memFile string) func() {
 // runBoot performs the full BIOS boot path on a user-provided boot
 // sector (or a built-in demo that prints via INT 10h).
 func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int,
-	disableDecodeCache bool, profFile string, profPeriod uint64,
+	disableDecodeCache, disableSuperblocks bool, profFile string, profPeriod uint64,
 	statsFile string, statsEpoch hw.Cycles) {
 	var sector []byte
 	if imagePath != "" {
@@ -303,7 +304,8 @@ msg:
 	copy(padded, sector)
 
 	plat := hw.MustNewPlatform(hw.Config{Model: model, RAMSize: 128 << 20})
-	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true, DisableDecodeCache: disableDecodeCache})
+	k := hypervisor.New(plat, hypervisor.Config{UseVPID: true,
+		DisableDecodeCache: disableDecodeCache, DisableSuperblocks: disableSuperblocks})
 	root := services.NewRootPM(k)
 	ds, err := root.StartDiskServer()
 	if err != nil {

@@ -30,6 +30,14 @@ import (
 // Setup-time entry points that intentionally do unaccounted work (VM
 // construction, test plumbing) carry a `// nocharge: <reason>` comment
 // on the line directly above the declaration.
+//
+// The superblock layer adds a batching rule: StepBlock retires a fused
+// run of instructions with no per-instruction charges, so every
+// `.StepBlock(...)` call site must be followed — in a sibling
+// statement, before any statement that steps again — by a charge-sink
+// call that batch-charges the block. Functions named StepBlock must
+// additionally never reach a wall-clock read: the fused loop runs
+// between two virtual-time charges and must advance virtual time only.
 var Chargecheck = &Analyzer{
 	Name: "chargecheck",
 	Doc:  "exported mutating entry points must charge cycles via the cost model",
@@ -73,6 +81,154 @@ func runChargecheck(pass *Pass) {
 			}
 		}
 	}
+
+	reportStepBlockSites(pass)
+}
+
+// reportStepBlockSites enforces the superblock batching contract.
+// StepBlock retires a whole fused run with no per-instruction charges,
+// so every call site must batch-charge the block before stepping again:
+// some sibling statement after the one containing the `.StepBlock(...)`
+// call — at any enclosing block level — must call a charge sink before
+// any statement that steps again. The rule is deliberately syntactic
+// rather than reachability-based: the batch charge must stay adjacent
+// to the fused call, or a refactor could float it out of the per-block
+// loop and the fused path would retire instructions for free.
+//
+// Functions *named* StepBlock are additionally held to the fused
+// loop's purity line: they must not reach a wall-clock read. The loop
+// runs between two virtual-time charges; host time leaking in would
+// make fused and single-stepped runs diverge.
+func reportStepBlockSites(pass *Pass) {
+	reachWall := pass.Prog.CallGraph().ReachesAny(isWallClockFunc)
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name == "StepBlock" && fd.Recv != nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && reachWall[fn] {
+						pass.Reportf(fd.Pos(), "%s.StepBlock reaches a wall-clock read (the fused loop must advance virtual time only)", recvTypeName(fd))
+					}
+				}
+				reportUnchargedStepBlocks(pass, pkg, fd)
+			}
+		}
+	}
+}
+
+// reportUnchargedStepBlocks flags the StepBlock call sites in fd that
+// have no following batch charge.
+func reportUnchargedStepBlocks(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	var sites []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isStepCall(call, "StepBlock") {
+			sites = append(sites, call)
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	charged := make(map[*ast.CallExpr]bool)
+	markChargedSites(pkg, fd.Body, sites, charged)
+	for _, call := range sites {
+		if !charged[call] {
+			pass.Reportf(call.Pos(), "StepBlock call site has no following batch charge (charge the fused block's cycles before stepping again)")
+		}
+	}
+}
+
+// markChargedSites walks every statement list under root and marks the
+// StepBlock sites whose holding statement is followed by a charging
+// sibling before any further stepping sibling. A site inside a loop
+// body is typically marked by that body's list (charge after the fused
+// call, once per iteration) even though the loop statement itself has
+// no charging sibling in the enclosing list.
+func markChargedSites(pkg *Package, root ast.Node, sites []*ast.CallExpr, charged map[*ast.CallExpr]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			held := sitesIn(s, sites)
+			if len(held) == 0 {
+				continue
+			}
+			for _, rest := range list[i+1:] {
+				if stmtCharges(pkg, rest) {
+					for _, call := range held {
+						charged[call] = true
+					}
+					break
+				}
+				if stmtSteps(rest) {
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sitesIn returns the tracked StepBlock calls positioned inside stmt.
+func sitesIn(stmt ast.Stmt, sites []*ast.CallExpr) []*ast.CallExpr {
+	var held []*ast.CallExpr
+	for _, call := range sites {
+		if call.Pos() >= stmt.Pos() && call.End() <= stmt.End() {
+			held = append(held, call)
+		}
+	}
+	return held
+}
+
+// isStepCall reports whether call invokes a method with the given
+// name. The stepping API is matched by method name, like the charge
+// sinks, so fixture packages can model it.
+func isStepCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// stmtCharges reports whether stmt contains a call to a charge sink.
+func stmtCharges(pkg *Package, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && isChargeSink(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtSteps reports whether stmt contains another stepping call (Step
+// or StepBlock).
+func stmtSteps(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && (isStepCall(call, "Step") || isStepCall(call, "StepBlock")) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // isChargeSink reports whether fn is one of the cycle-accounting

@@ -1,6 +1,10 @@
 // Package fixture seeds chargecheck violations: device-model entry
-// points that mutate simulated state with and without cycle accounting.
+// points that mutate simulated state with and without cycle accounting,
+// plus fused-execution (StepBlock) call sites with and without the
+// required batch charge.
 package fixture
+
+import "time"
 
 // Cycles is virtual time.
 type Cycles uint64
@@ -53,3 +57,78 @@ func (d *Device) ReadOnly() uint32 { return d.state }
 
 // internalWrite is unexported: not an entry point, callers account.
 func (d *Device) internalWrite(v uint32) { d.state = v }
+
+// Interp models x86.Interp's stepping API. Like the real interpreter,
+// its memory-access environment reaches the clock transitively (so the
+// entry-point rule is satisfied); what matters for the superblock rule
+// is that StepBlock retires a whole fused run and the *call site* must
+// batch-charge it before stepping again.
+type Interp struct {
+	clk *Clock
+	ret uint64
+}
+
+// Step retires one instruction.
+func (i *Interp) Step() error {
+	i.ret++
+	i.clk.Charge(1)
+	return nil
+}
+
+// StepBlock retires up to max instructions as one fused run.
+func (i *Interp) StepBlock(max uint64) error {
+	i.ret += max
+	i.clk.Charge(1)
+	return nil
+}
+
+// goodFusedLoop is the batching idiom: one charge per fused block,
+// adjacent to the StepBlock call in the loop body.
+func goodFusedLoop(clk *Clock, ip *Interp) {
+	for n := 0; n < 4; n++ {
+		if err := ip.StepBlock(8); err != nil {
+			return
+		}
+		clk.Charge(8)
+	}
+}
+
+// goodFusedFallback mirrors the run loops' shape: the fused call and
+// the single-step fallback bind in one statement, and the batch charge
+// follows as a sibling after intervening bookkeeping.
+func goodFusedFallback(clk *Clock, ip *Interp, max uint64) error {
+	var err error
+	if max > 1 {
+		err = ip.StepBlock(max)
+	} else {
+		err = ip.Step()
+	}
+	retired := max
+	clk.Charge(Cycles(retired))
+	return err
+}
+
+// badFusedNoCharge steps a fused block and returns without ever
+// charging the batch.
+func badFusedNoCharge(ip *Interp) error {
+	return ip.StepBlock(8) // want "no following batch charge"
+}
+
+// badFusedStepsAgain steps again before charging the fused block: the
+// eventual charge cannot be attributed to the first block.
+func badFusedStepsAgain(clk *Clock, ip *Interp) {
+	ip.StepBlock(8) // want "no following batch charge"
+	ip.Step()       // a second step before the batch charge
+	clk.Charge(16)
+}
+
+// WallInterp models a fused executor that consults host time.
+type WallInterp struct{ ret uint64 }
+
+// StepBlock leaks a wall-clock read into the fused loop.
+func (w *WallInterp) StepBlock(max uint64) error { // want "wall-clock read"
+	if time.Now().UnixNano() == 0 {
+		return nil
+	}
+	return nil
+}

@@ -1,8 +1,9 @@
 // Package fixture seeds tracepure violations: trace-layer code that
 // perturbs the simulation, and emission call sites whose arguments do
 // work. The analyzer matches the trace layer by receiver-type name
-// (Tracer, Ring, Histogram, CounterSet), so this package models it the
-// same way the chargecheck fixture models Clock.
+// (Tracer, Ring, Histogram, CounterSet, ..., DecodeCache, Superblock),
+// so this package models it the same way the chargecheck fixture
+// models Clock.
 package fixture
 
 import "time"
@@ -230,4 +231,62 @@ func (s *Server) GoodCount() {
 // arguments.
 func (s *Server) BadCountCharging(d *Device) {
 	s.reqs.Add(d.step(), 1) // want "charges simulated cycles"
+}
+
+// DecodeCache mirrors x86.DecodeCache: the decoded-instruction cache
+// and its superblock layer are host-side acceleration state riding the
+// same zero-perturbation contract as the trace layer — a cache fill or
+// invalidation must be invisible to the simulation.
+type DecodeCache struct {
+	clk   *Clock
+	mem   *Mem
+	pages map[uint64]int
+	order []uint64
+}
+
+// Lookup is pure host-side bookkeeping (maps as lookup index): fine.
+func (c *DecodeCache) Lookup(page uint64) int { return c.pages[page] }
+
+// BadFill charges simulated cycles for a host-side cache fill.
+func (c *DecodeCache) BadFill(page uint64) { // want "charges simulated cycles"
+	c.clk.Charge(1)
+	c.pages[page] = 1
+}
+
+// BadSweep serializes cache contents by ranging over the page map.
+func (c *DecodeCache) BadSweep() []uint64 {
+	var out []uint64
+	for p := range c.pages { // want "ranges over a map"
+		out = append(out, p)
+	}
+	return out
+}
+
+// GoodSweep walks the insertion-ordered slice; the map is lookup-only.
+func (c *DecodeCache) GoodSweep() []uint64 {
+	var out []uint64
+	for _, p := range c.order {
+		out = append(out, uint64(c.pages[p]))
+	}
+	return out
+}
+
+// Superblock mirrors x86.Superblock.
+type Superblock struct{ insts []uint64 }
+
+// BadBuild mutates guest-visible state while chaining a block.
+func (s *Superblock) BadBuild(m *Mem) { // want "mutates guest-visible platform state"
+	m.Write32(0, 1)
+	s.insts = append(s.insts, 1)
+}
+
+// GoodVerify re-proves a cached block against live bytes without
+// touching the simulation: fine.
+func (s *Superblock) GoodVerify(live []uint64) bool {
+	for i, v := range s.insts {
+		if i >= len(live) || live[i] != v {
+			return false
+		}
+	}
+	return true
 }

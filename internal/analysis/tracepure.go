@@ -11,9 +11,11 @@ import (
 //
 //  1. Trace-layer functions — everything declared in a package named
 //     "trace", "prof" or "stat", plus methods on the trace types
-//     (Tracer, Ring, Histogram, CounterSet, Profiler, Buf, and the
-//     metric registry's Registry/Metric/Counter/Gauge) wherever they
-//     are declared — must not reach a cycle-charge sink (Clock.Charge,
+//     (Tracer, Ring, Histogram, CounterSet, Profiler, Buf, the
+//     metric registry's Registry/Metric/Counter/Gauge, and the
+//     interpreter's host-side DecodeCache/Superblock acceleration
+//     state) wherever they are declared — must not reach a
+//     cycle-charge sink (Clock.Charge,
 //     Kernel.charge/ChargeUser), a platform mutator (PortWrite,
 //     MMIOWrite, ...), or a wall-clock read (time.Now, ...).
 //     Reachability runs over the shared whole-program call graph, so
@@ -46,6 +48,11 @@ var traceTypeNames = map[string]bool{
 	// internal/stat's registry layer rides the same contract: recording
 	// a metric must never charge, mutate, or read the wall clock.
 	"Registry": true, "Metric": true, "Counter": true, "Gauge": true,
+	// The decoded-instruction cache and its superblock layer are
+	// host-side acceleration state: filling, byte-verifying, or
+	// invalidating them must be invisible to the simulation, exactly
+	// like emitting a trace record.
+	"DecodeCache": true, "Superblock": true,
 }
 
 func runTracepure(pass *Pass) {
@@ -137,8 +144,8 @@ func isTraceLayerFunc(pkg *Package, fn *types.Func) bool {
 	return recvIsTraceType(fn)
 }
 
-// recvIsTraceType reports whether fn is a method on Tracer, Ring,
-// Histogram or CounterSet.
+// recvIsTraceType reports whether fn is a method on one of the
+// traceTypeNames receivers.
 func recvIsTraceType(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {

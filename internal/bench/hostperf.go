@@ -11,14 +11,17 @@ import (
 
 // RunHostPerf measures how fast the *simulator itself* executes guest
 // code: retired guest instructions per host wall-clock second (guest
-// MIPS), with the decoded-instruction cache enabled and disabled, for
-// the compile workload across execution modes.
+// MIPS), with the interpreter's host-side fast paths peeled off layer
+// by layer — superblock fusion on top of the decoded-instruction cache
+// ("fused"), the cache alone ("step"), and neither ("bare") — for the
+// compile workload across execution modes.
 //
 // This is the one experiment in the suite about the host, not the
 // simulated machine — hence the walltime import. The simulated results
-// of the cache-on and cache-off runs are bit-identical (enforced by
-// TestDecodeCacheABIdentity and the CI identity step); only the host
-// seconds may differ, and the speedup column quantifies by how much.
+// of all three settings are bit-identical (enforced by
+// TestDecodeCacheABIdentity, TestSuperblockABIdentity and the CI
+// identity steps); only the host seconds may differ, and the speedup
+// columns quantify by how much.
 func RunHostPerf(sc Scale) (*Table, error) {
 	type cfgSpec struct {
 		label string
@@ -32,8 +35,9 @@ func RunHostPerf(sc Scale) (*Table, error) {
 
 	var vcycles uint64
 	res := &Resources{}
-	run := func(cfg guest.RunnerConfig, disableCache bool) (insts uint64, seconds float64, err error) {
+	run := func(cfg guest.RunnerConfig, disableCache, disableSB bool) (insts uint64, seconds float64, err error) {
 		cfg.DisableDecodeCache = disableCache
+		cfg.DisableSuperblocks = disableSB
 		img := guest.MustBuild(guest.CompileKernel(667))
 		if cfg.Mode == guest.ModeVirtEPT || cfg.Mode == guest.ModeVirtVTLB {
 			cfg.WithDiskServer = true
@@ -62,19 +66,23 @@ func RunHostPerf(sc Scale) (*Table, error) {
 
 	t := &Table{
 		Title:   "Host performance: guest MIPS (retired guest instructions / host second)",
-		Columns: []string{"mode", "guest insts", "MIPS cached", "MIPS uncached", "speedup"},
+		Columns: []string{"mode", "guest insts", "MIPS fused", "MIPS step", "MIPS bare", "fused/bare", "fused/step"},
 	}
 	for _, s := range specs {
-		onInsts, onSec, err := run(s.cfg, false)
+		fusedInsts, fusedSec, err := run(s.cfg, false, false)
 		if err != nil {
-			return nil, fmt.Errorf("hostperf %s (cache on): %w", s.label, err)
+			return nil, fmt.Errorf("hostperf %s (fused): %w", s.label, err)
 		}
-		offInsts, offSec, err := run(s.cfg, true)
+		stepInsts, stepSec, err := run(s.cfg, false, true)
 		if err != nil {
-			return nil, fmt.Errorf("hostperf %s (cache off): %w", s.label, err)
+			return nil, fmt.Errorf("hostperf %s (step): %w", s.label, err)
 		}
-		if onInsts != offInsts {
-			return nil, fmt.Errorf("hostperf %s: retired-instruction counts diverged with the cache toggled (%d vs %d) — the cache leaked into the simulation", s.label, onInsts, offInsts)
+		bareInsts, bareSec, err := run(s.cfg, true, true)
+		if err != nil {
+			return nil, fmt.Errorf("hostperf %s (bare): %w", s.label, err)
+		}
+		if fusedInsts != stepInsts || stepInsts != bareInsts {
+			return nil, fmt.Errorf("hostperf %s: retired-instruction counts diverged across fast-path settings (fused %d, step %d, bare %d) — a host-side layer leaked into the simulation", s.label, fusedInsts, stepInsts, bareInsts)
 		}
 		mips := func(insts uint64, sec float64) float64 {
 			if sec <= 0 {
@@ -82,16 +90,19 @@ func RunHostPerf(sc Scale) (*Table, error) {
 			}
 			return float64(insts) / sec / 1e6
 		}
-		onMIPS, offMIPS := mips(onInsts, onSec), mips(offInsts, offSec)
-		speedup := "-"
-		if offMIPS > 0 {
-			speedup = f2(onMIPS / offMIPS)
+		fused, step, bare := mips(fusedInsts, fusedSec), mips(stepInsts, stepSec), mips(bareInsts, bareSec)
+		ratio := func(num, den float64) string {
+			if den <= 0 {
+				return "-"
+			}
+			return f2(num / den)
 		}
-		t.Rows = append(t.Rows, []string{s.label, d(onInsts), f1(onMIPS), f1(offMIPS), speedup})
+		t.Rows = append(t.Rows, []string{s.label, d(fusedInsts), f1(fused), f1(step), f1(bare),
+			ratio(fused, bare), ratio(fused, step)})
 	}
 	t.Notes = append(t.Notes,
 		"host-side metric: wall-clock throughput of the simulator process, not a simulated quantity",
-		"cached/uncached runs retire identical instruction streams; only host speed differs")
+		"fused = decode cache + superblocks, step = decode cache only, bare = neither; all three retire identical instruction streams")
 	t.VirtualCycles = vcycles
 	t.Resources = res
 	return t, nil

@@ -83,6 +83,11 @@ type RunnerConfig struct {
 	// bit-identical either way; see hypervisor.Config.
 	DisableDecodeCache bool
 
+	// DisableSuperblocks turns off fused superblock execution on top
+	// of the decode cache (all modes). Results must be bit-identical
+	// either way; see hypervisor.Config.
+	DisableSuperblocks bool
+
 	// TraceCapacity, when non-zero, attaches a tracer with per-CPU
 	// event rings of that many entries once the stack is built (so
 	// construction noise is excluded from the trace). Only meaningful
@@ -166,6 +171,7 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 		if cfg.DisableDecodeCache {
 			r.BM.Interp.Cache = nil
 		}
+		r.BM.DisableSuperblocks = cfg.DisableSuperblocks
 		if cfg.ProfilePeriod > 0 {
 			r.Prof = r.BM.AttachProfiler(cfg.ProfilePeriod, profileCapacity(cfg))
 		}
@@ -181,6 +187,7 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 		DisableDirectSwitch: cfg.DisableDirectSwitch,
 		DisableVTLBTrick:    cfg.DisableVTLBTrick,
 		DisableDecodeCache:  cfg.DisableDecodeCache,
+		DisableSuperblocks:  cfg.DisableSuperblocks,
 	})
 	r.K = k
 	r.Root = services.NewRootPM(k)

@@ -1,0 +1,86 @@
+package guest
+
+import (
+	"testing"
+
+	"nova/internal/hw"
+)
+
+// TestSuperblockABIdentity runs the determinism workloads with fused
+// superblock execution force-disabled and force-enabled — with and
+// without the sampling profiler attached — and requires bit-identical
+// outcomes: same cycle totals, same encoded-trace hash, same final
+// physical memory, same final vCPU state. Superblocks are host-side
+// performance machinery on top of the decode cache; any divergence here
+// means the fused path leaked into the simulation (a missing or extra
+// charge, a skipped interrupt-window check, or guest-visible state).
+//
+// The profiler-attached variants pin the degradation contract: an
+// attached StepHook forces StepBlock back to single-stepping, so a
+// profiled run must see the exact per-instruction sample stream and
+// still produce identical simulated results.
+func TestSuperblockABIdentity(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    RunnerConfig
+		img    []byte
+		params []uint32
+	}{
+		{
+			name:   "native-compute",
+			cfg:    RunnerConfig{Model: hw.BLM, Mode: ModeNative},
+			img:    MustBuild(ComputeKernelWithSwitches(true, false, 8)),
+			params: []uint32{3, 64 << 10},
+		},
+		{
+			name:   "ept-compute",
+			cfg:    RunnerConfig{Model: hw.BLM, Mode: ModeVirtEPT, UseVPID: true},
+			img:    MustBuild(ComputeKernelWithSwitches(true, false, 8)),
+			params: []uint32{3, 64 << 10},
+		},
+		{
+			name:   "vtlb-compute",
+			cfg:    RunnerConfig{Model: hw.BLM, Mode: ModeVirtVTLB},
+			img:    MustBuild(ComputeKernelWithSwitches(true, false, 8)),
+			params: []uint32{3, 64 << 10},
+		},
+		{
+			name:   "ept-disk-boot",
+			cfg:    RunnerConfig{Model: hw.BLM, Mode: ModeVirtEPT, UseVPID: true, WithDiskServer: true},
+			img:    MustBuild(DiskChecksumKernel()),
+			params: []uint32{8, 4, 2000},
+		},
+	}
+	profiles := []struct {
+		name   string
+		period uint64
+	}{
+		{"plain", 0},
+		{"profiled", 10_000},
+	}
+	for _, tc := range cases {
+		for _, pr := range profiles {
+			t.Run(tc.name+"/"+pr.name, func(t *testing.T) {
+				on := tc.cfg
+				on.ProfilePeriod = pr.period
+				off := on
+				off.DisableSuperblocks = true
+				cOn, thOn, rhOn, stOn := cacheABRun(t, on, tc.img, tc.params)
+				cOff, thOff, rhOff, stOff := cacheABRun(t, off, tc.img, tc.params)
+				if cOn != cOff {
+					t.Errorf("cycle totals differ: sb-on %d vs sb-off %d (Δ=%d)", cOn, cOff, int64(cOn)-int64(cOff))
+				}
+				if thOn != thOff {
+					t.Errorf("trace hashes differ: sb-on %#x vs sb-off %#x", thOn, thOff)
+				}
+				if rhOn != rhOff {
+					t.Errorf("final physical memory differs: sb-on %#x vs sb-off %#x", rhOn, rhOff)
+				}
+				if stOn != stOff {
+					t.Errorf("final vCPU state differs:\n sb-on  %s\n sb-off %s", stOn, stOff)
+				}
+				t.Logf("%s/%s: %d cycles, trace %#x, ram %#x", tc.name, pr.name, cOn, thOn, rhOn)
+			})
+		}
+	}
+}

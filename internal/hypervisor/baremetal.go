@@ -26,6 +26,13 @@ type BareMetal struct {
 	// Stat, when set, carries the native run's resource accounting
 	// (instruction and device totals; a native run has no exits or IPC).
 	Stat *stat.Registry
+
+	// DisableSuperblocks turns off fused superblock execution
+	// (x86.StepBlock) and single-steps every instruction. This is NOT
+	// an ablation: superblocks are host-side machinery whose on/off
+	// results are bit-identical; the switch exists for the A/B identity
+	// harness and for debugging.
+	DisableSuperblocks bool
 }
 
 // AttachProfiler enables virtual-time sampling on the native run.
@@ -60,6 +67,7 @@ func (b *BareMetal) AttachStats(epochLen hw.Cycles) *stat.Registry {
 	b.Stat = r
 	r.RegisterSampler(stat.Name("guest_instructions", "vm", "native", "vcpu", "0"),
 		func() uint64 { return b.Interp.InstRet })
+	statSuperblocks(r, b.Interp, "native", "0")
 	if ahci := b.Plat.AHCI; ahci != nil {
 		r.RegisterSampler("hw_ahci_commands", func() uint64 { return ahci.Stats.Commands })
 		r.RegisterSampler("hw_ahci_dma_bytes", func() uint64 { return ahci.Stats.DMABytes })
@@ -224,7 +232,8 @@ func (b *BareMetal) Run(until hw.Cycles) error {
 	cost := b.Plat.Cost
 	for clk.Now() < until {
 		b.Plat.RunEventsUntil(clk.Now())
-		if b.Plat.PIC.HasPending() && b.Interp.Interruptible() {
+		pending := b.Plat.PIC.HasPending()
+		if pending && b.Interp.Interruptible() {
 			if vec, ok := b.Plat.PIC.Acknowledge(); ok {
 				if err := b.Interp.Interrupt(vec); err != nil {
 					return fmt.Errorf("hypervisor: native interrupt delivery: %w", err)
@@ -248,7 +257,12 @@ func (b *BareMetal) Run(until hw.Cycles) error {
 		}
 		before := b.Interp.InstRet
 		extraBefore := b.Interp.ExtraCycles
-		err := b.Interp.Step()
+		var err error
+		if max := b.fuseLimit(clk, until, pending); max > 1 {
+			err = b.Interp.StepBlock(max)
+		} else {
+			err = b.Interp.Step()
+		}
 		retired := b.Interp.InstRet - before
 		if retired == 0 {
 			retired = 1
@@ -259,4 +273,36 @@ func (b *BareMetal) Run(until hw.Cycles) error {
 		}
 	}
 	return nil
+}
+
+// fuseLimit mirrors Kernel.fuseLimit for the native run loop: fused
+// instructions must fit strictly between now and the nearer of the
+// next platform event and the deadline, and a pending interrupt forces
+// single-stepping so delivery timing (including the STI shadow) stays
+// per-instruction exact. pending is the caller's loop-top
+// PIC.HasPending result; nothing between there and the step site can
+// raise a line.
+func (b *BareMetal) fuseLimit(clk *hw.Clock, until hw.Cycles, pending bool) uint64 {
+	if b.DisableSuperblocks || b.Interp.Cache == nil {
+		return 1
+	}
+	if pending {
+		b.Interp.Cache.SB.CutPending++
+		return 1
+	}
+	limit := until
+	if !b.Plat.Queue.Empty() {
+		if t := b.Plat.Queue.NextTime(); t < limit {
+			limit = t
+		}
+	}
+	now := clk.Now()
+	if limit <= now {
+		return 1
+	}
+	ic := b.Plat.Cost.InstructionCost
+	if ic == 1 {
+		return uint64(limit - now)
+	}
+	return uint64((limit - now + ic - 1) / ic)
 }

@@ -70,6 +70,12 @@ type Config struct {
 	// a single bit (the A/B determinism test runs both settings); the
 	// switch exists for that test and for debugging.
 	DisableDecodeCache bool
+	// DisableSuperblocks turns off fused superblock execution
+	// (x86.StepBlock) on top of the decode cache. Like the cache
+	// switch, this is NOT an ablation: fused and single-stepped runs
+	// are bit-identical (the superblock A/B matrix runs both); the
+	// switch exists for that harness and for debugging.
+	DisableSuperblocks bool
 }
 
 // Kernel is the microhypervisor instance for one platform.

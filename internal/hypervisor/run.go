@@ -155,7 +155,8 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 			k.Stats.Preemptions++
 			return
 		}
-		if k.Plat.PIC.HasPending() {
+		pending := k.Plat.PIC.HasPending()
+		if pending {
 			if v.NoExitDelivery {
 				// §8.1 "Direct": the guest owns the platform interrupt
 				// controller; deliver without leaving guest mode.
@@ -254,7 +255,12 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 
 		before := v.Interp.InstRet
 		extraBefore := v.Interp.ExtraCycles
-		err := v.Interp.Step()
+		var err error
+		if max := k.fuseLimit(v, clk, deadline, pending); max > 1 {
+			err = v.Interp.StepBlock(max)
+		} else {
+			err = v.Interp.Step()
+		}
 		retired := v.Interp.InstRet - before
 		if retired == 0 {
 			retired = 1
@@ -267,6 +273,42 @@ func (k *Kernel) runVCPU(ec *EC, deadline hw.Cycles) {
 	if k.preempt {
 		k.Stats.Preemptions++
 	}
+}
+
+// fuseLimit bounds a fused superblock run: the number of base-cost
+// instructions that fit strictly between now and the nearer of the next
+// platform event and the run deadline. Within that window the
+// sequential loop's per-step top-of-loop work (RunEventsUntil, PIC,
+// recall, injection and halt checks) is provably a no-op, so batching
+// it at the block boundary cannot change simulated behaviour. Anything
+// already pending forces single-stepping — delivery timing must stay
+// per-instruction exact (interrupt shadows, halt wake-ups). pending is
+// the caller's loop-top PIC.HasPending result: nothing between the loop
+// top and the step site can raise a line, so re-querying would only
+// duplicate the hottest check in the run loop.
+func (k *Kernel) fuseLimit(v *VCPU, clk *hw.Clock, deadline hw.Cycles, pending bool) uint64 {
+	if k.Cfg.DisableSuperblocks || v.Interp.Cache == nil {
+		return 1
+	}
+	if pending || v.RecallPending || v.PendingValid {
+		v.Interp.Cache.SB.CutPending++
+		return 1
+	}
+	limit := deadline
+	if !k.Plat.Queue.Empty() {
+		if t := k.Plat.Queue.NextTime(); t < limit {
+			limit = t
+		}
+	}
+	now := clk.Now()
+	if limit <= now {
+		return 1
+	}
+	ic := k.Plat.Cost.InstructionCost
+	if ic == 1 {
+		return uint64(limit - now)
+	}
+	return uint64((limit - now + ic - 1) / ic)
 }
 
 // handleGuestRunError routes interpreter errors: VM exits go to the

@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"testing"
 
+	"nova/internal/hw"
 	"nova/internal/x86"
 )
 
@@ -53,6 +54,149 @@ org 0x7c00
 			if got := tv.readGuest32(0x604) & 0xffff; got != 0x2222 {
 				t.Errorf("after self-modification: ax = %#x, want 0x2222 (stale decode executed?)", got)
 			}
+		})
+	}
+}
+
+// smcSubroutine is a three-instruction fusible run ending in RET:
+//
+//	7e00: b8 11 11   mov ax, 0x1111
+//	7e03: bb 22 22   mov bx, 0x2222
+//	7e06: 01 d8      add ax, bx
+//	7e08: c3         ret
+//
+// The movs and the add chain into one superblock (RET touches the stack
+// and terminates it), so patching the middle instruction's immediate at
+// 0x7e04 lands strictly inside a cached block's byte span.
+var smcSubroutine = []byte{0xb8, 0x11, 0x11, 0xbb, 0x22, 0x22, 0x01, 0xd8, 0xc3}
+
+// TestSelfModifyingCodeInvalidatesSuperblock warms a multi-instruction
+// subroutine until it is cached as a superblock, then has the guest
+// patch the immediate of the block's *middle* instruction and call it
+// again. The fused path must observe the write and rebuild the block:
+// a stale superblock would replay the old immediate even though the
+// per-instruction decode cache was invalidated correctly.
+func TestSelfModifyingCodeInvalidatesSuperblock(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode PagingMode
+	}{
+		{"ept", ModeEPT},
+		{"vtlb", ModeVTLB},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, Config{UseVPID: true})
+			code := x86.MustAssemble(`bits 16
+org 0x7c00
+	mov cx, 32
+warm:
+	call 0x7e00
+	dec cx
+	jnz warm
+	mov [0x600], ax
+	mov byte [0x7e04], 0x55
+	call 0x7e00
+	mov [0x604], ax
+	hlt`)
+			tv := makeVM(t, k, tc.mode, 64, code, 0x7c00, nil)
+			tv.writeGuest(0x7e00, smcSubroutine)
+			v := tv.ec.VCPU
+			if v.Interp.Cache == nil {
+				t.Fatal("decode cache not attached; the test would not exercise invalidation")
+			}
+			v.State.GPR[x86.ESP] = 0x7000
+			k.Run(k.Now() + 50_000_000)
+			if !v.State.Halted {
+				t.Fatalf("guest did not halt: %v", v.State.String())
+			}
+			if got := tv.readGuest32(0x600) & 0xffff; got != 0x3333 {
+				t.Errorf("warm calls: ax = %#x, want 0x3333", got)
+			}
+			if got := tv.readGuest32(0x604) & 0xffff; got != 0x3366 {
+				t.Errorf("after mid-block patch: ax = %#x, want 0x3366 (stale superblock executed?)", got)
+			}
+			sb := v.Interp.Cache.SB
+			if sb.Built == 0 || sb.Hits == 0 {
+				t.Errorf("fused path never engaged (built=%d hits=%d); the test did not exercise superblocks", sb.Built, sb.Hits)
+			}
+			t.Logf("%s: built=%d hits=%d fused=%d invalidated=%d", tc.name, sb.Built, sb.Hits, sb.Fused, sb.Invalidated)
+		})
+	}
+}
+
+// TestDMAIntoCachedCodePage patches the same mid-superblock immediate
+// from *outside* the vCPU — a device bus-master write through the DMA
+// path — while the guest spins on a flag. Device DMA goes through
+// hw.Memory.WriteBytes and must bump the page's write generation like
+// any other store, so the cached decodes and superblock over those
+// bytes are re-proved against the live page when the guest re-executes
+// them.
+func TestDMAIntoCachedCodePage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode PagingMode
+	}{
+		{"ept", ModeEPT},
+		{"vtlb", ModeVTLB},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, Config{UseVPID: true})
+			code := x86.MustAssemble(`bits 16
+org 0x7c00
+	mov cx, 32
+warm:
+	call 0x7e00
+	dec cx
+	jnz warm
+	mov [0x600], ax
+wait:
+	mov al, [0x7f0]
+	cmp al, 1
+	jne wait
+	call 0x7e00
+	mov [0x604], ax
+	hlt`)
+			tv := makeVM(t, k, tc.mode, 64, code, 0x7c00, nil)
+			tv.writeGuest(0x7e00, smcSubroutine)
+			v := tv.ec.VCPU
+			if v.Interp.Cache == nil {
+				t.Fatal("decode cache not attached; the test would not exercise invalidation")
+			}
+			v.State.GPR[x86.ESP] = 0x7000
+
+			// Bounded slice: the guest warms the subroutine (caching the
+			// superblock) and parks in the flag-poll loop.
+			k.Run(k.Now() + 2_000_000)
+			if v.State.Halted {
+				t.Fatal("guest halted before the DMA patch; poll loop never entered")
+			}
+			if got := tv.readGuest32(0x600) & 0xffff; got != 0x3333 {
+				t.Fatalf("warm calls: ax = %#x, want 0x3333", got)
+			}
+
+			// Bus-master write into the cached code page, then release the
+			// poll loop. The DMA path must invalidate exactly like SMC.
+			dma := hw.NewDirectDMA(k.Plat.Mem)
+			dev := hw.BDF(0, 3, 0)
+			if err := dma.DMAWrite(dev, tv.base+0x7e04, []byte{0x55}); err != nil {
+				t.Fatalf("DMA patch: %v", err)
+			}
+			if err := dma.DMAWrite(dev, tv.base+0x7f0, []byte{1}); err != nil {
+				t.Fatalf("DMA flag: %v", err)
+			}
+
+			k.Run(k.Now() + 50_000_000)
+			if !v.State.Halted {
+				t.Fatalf("guest did not halt after the DMA release: %v", v.State.String())
+			}
+			if got := tv.readGuest32(0x604) & 0xffff; got != 0x3366 {
+				t.Errorf("after DMA patch: ax = %#x, want 0x3366 (stale decode or superblock executed?)", got)
+			}
+			sb := v.Interp.Cache.SB
+			if sb.Built == 0 || sb.Hits == 0 {
+				t.Errorf("fused path never engaged (built=%d hits=%d); the test did not exercise superblocks", sb.Built, sb.Hits)
+			}
+			t.Logf("%s: built=%d hits=%d fused=%d invalidated=%d", tc.name, sb.Built, sb.Hits, sb.Fused, sb.Invalidated)
 		})
 	}
 }

@@ -39,9 +39,29 @@ type decodeKey struct {
 // decodedPage holds the decode results of one physical page, indexed by
 // page offset. Only instructions contained entirely within the page are
 // cached; gen is the physical page's write generation at fill time.
+//
+// Staleness is detected in two tiers. While the page's write generation
+// still equals gen, every cached entry is trivially valid and lookups
+// are a bare array load. Once any store lands in the page — guest SMC,
+// VMM or BIOS writes, device DMA — the generation moves and the page
+// enters verify mode for good: each lookup then memcmps the entry's
+// recorded encoding (Inst.enc, Superblock.enc) against the live page
+// bytes, dropping and re-decoding only entries whose bytes actually
+// changed. Decode is pure in the bytes, so matching bytes prove the
+// cached result. This keeps code pages that also hold writable data
+// (a guest patching one routine, a DMA buffer sharing the page) from
+// repeatedly wiping every decode on the page, which would make the
+// cache a net loss on such workloads.
+//
+// blocks caches superblocks (see superblock.go) by their entry offset,
+// verified the same way over their whole byte span. nblocks counts the
+// real (non-sentinel) blocks currently cached, so whole-cache resets
+// can be accounted without scanning the array.
 type decodedPage struct {
-	gen   uint64
-	insts [codePageSize]*Inst
+	gen     uint64
+	insts   [codePageSize]*Inst
+	blocks  [codePageSize]*Superblock
+	nblocks int
 }
 
 // decodeCacheMaxPages bounds host memory use. Overflow resets the whole
@@ -61,22 +81,45 @@ type DecodeCache struct {
 	// same code page, and the map hash dominates the lookup otherwise.
 	lastKey decodeKey
 	last    *decodedPage
+
+	// SB counts superblock activity (see superblock.go). Host-side
+	// observability only; nothing simulated reads it.
+	SB SuperblockStats
+
+	// liveBlocks tracks the real superblocks across all cached pages,
+	// so a whole-cache reset can account its invalidations without
+	// ranging over the page map.
+	liveBlocks int
+
+	// noBlock marks entry points where no run of at least two fusible
+	// instructions exists (per cache, so machines in one process share
+	// no mutable-looking globals).
+	noBlock *Superblock
 }
 
 // NewDecodeCache returns an empty cache.
 func NewDecodeCache() *DecodeCache {
-	return &DecodeCache{pages: make(map[decodeKey]*decodedPage)}
+	return &DecodeCache{
+		pages:   make(map[decodeKey]*decodedPage),
+		noBlock: &Superblock{},
+	}
 }
 
-// page returns the (fresh) decoded page for key, resetting it when the
-// backing page's write generation moved.
-func (c *DecodeCache) page(page uint64, def32 bool, gen uint64) *decodedPage {
+// page returns the decoded page for key and whether it is fresh: fresh
+// means the backing page's write generation still matches fill time, so
+// every cached entry is valid as-is. A stale page is NOT reset — its
+// entries are individually byte-verified at lookup (see instValid and
+// the superblock span check), so stores into the data half of a mixed
+// code/data page cost a short memcmp instead of a full re-decode.
+func (c *DecodeCache) page(page uint64, def32 bool, gen uint64) (dp *decodedPage, fresh bool) {
 	key := decodeKey{page: page, def32: def32}
-	dp := c.last
+	dp = c.last
 	if dp == nil || c.lastKey != key {
 		dp = c.pages[key]
 		if dp == nil {
 			if len(c.pages) >= decodeCacheMaxPages {
+				c.SB.Invalidated += uint64(c.liveBlocks)
+				c.liveBlocks = 0
 				c.pages = make(map[decodeKey]*decodedPage, decodeCacheMaxPages)
 			}
 			dp = &decodedPage{gen: gen}
@@ -84,10 +127,36 @@ func (c *DecodeCache) page(page uint64, def32 bool, gen uint64) *decodedPage {
 		}
 		c.lastKey, c.last = key, dp
 	}
-	if dp.gen != gen {
-		*dp = decodedPage{gen: gen}
+	return dp, dp.gen == gen
+}
+
+// instValid reports whether a cached decode still matches the live page
+// bytes it was made from. Called only on stale pages; on fresh pages the
+// generation match already proves validity.
+func instValid(inst *Inst, data []byte, off int) bool {
+	return bytesEqual(data[off:off+inst.Len], inst.enc[:inst.Len])
+}
+
+// cacheInst records a decode in the page, snapshotting the bytes it was
+// made from so later lookups can verify it after the page is written.
+func cacheInst(dp *decodedPage, data []byte, off int, inst *Inst) {
+	copy(inst.enc[:], data[off:off+inst.Len])
+	dp.insts[off] = inst
+}
+
+// bytesEqual is bytes.Equal without the import: spans here are at most
+// 15 bytes (one instruction) or a few dozen (one superblock), where the
+// simple loop is as fast as the vectorized runtime call.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return dp
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // errPageSpill signals that a decode ran off the end of its code page;

@@ -112,31 +112,46 @@ loop:
 	}
 }
 
-// TestDecodeCacheStaleGeneration patches a cached instruction's bytes
-// (bumping the page's write generation, as any hw.Memory write does) and
-// checks the next execution decodes the new bytes.
+// TestDecodeCacheStaleGeneration pins the two-tier staleness contract:
+// on a fresh page (write generation unchanged since fill) hits are
+// served without looking at the bytes; once any write bumps the
+// generation, every hit is byte-verified against the live page and only
+// decodes whose bytes actually changed are re-decoded.
 func TestDecodeCacheStaleGeneration(t *testing.T) {
 	ip, env := runCached(t, "mov eax, 0x11111111\nhlt", 0x1000)
 	stepN(t, ip, 1)
 	if ip.St.GPR[EAX] != 0x11111111 {
 		t.Fatalf("eax = %#x", ip.St.GPR[EAX])
 	}
-	// Patch the immediate in place; same page, new generation.
+	// Patch bytes behind the cache's back, with no generation bump: the
+	// page is fresh, so the cache must serve the cached decode without
+	// re-reading the bytes. (The real memory system can't do this —
+	// every write path bumps the generation — so this asserts the
+	// fresh-page path really serves unverified hits.)
+	copy(env.mem[0x1001:], []byte{0x33, 0x33, 0x33, 0x33})
+	ip.St.EIP = 0x1000
+	stepN(t, ip, 1)
+	if ip.St.GPR[EAX] != 0x11111111 {
+		t.Errorf("fresh page did not serve a hit: eax = %#x", ip.St.GPR[EAX])
+	}
+	// Patch the immediate in place with a generation bump; the stale
+	// decode's bytes differ and it must be re-decoded.
 	env.write(0x1001, []byte{0x22, 0x22, 0x22, 0x22})
 	ip.St.EIP = 0x1000
 	stepN(t, ip, 1)
 	if ip.St.GPR[EAX] != 0x22222222 {
 		t.Errorf("after patch: eax = %#x, want 0x22222222 (stale decode executed)", ip.St.GPR[EAX])
 	}
-	// Without a generation bump the cache must serve the cached decode:
-	// patch bytes behind its back and verify the old decode still runs.
-	// (The real memory system can't do this — every write path bumps the
-	// generation — so this asserts the cache really is serving hits.)
-	copy(env.mem[0x1001:], []byte{0x33, 0x33, 0x33, 0x33})
+	// A write elsewhere in the page must not drop the (unchanged)
+	// decode, but it does put the page in verify mode: a subsequent
+	// behind-the-back change of the instruction bytes is now caught by
+	// the byte comparison even without its own generation bump.
+	env.write(0x1800, []byte{0xff})
+	copy(env.mem[0x1001:], []byte{0x44, 0x44, 0x44, 0x44})
 	ip.St.EIP = 0x1000
 	stepN(t, ip, 1)
-	if ip.St.GPR[EAX] != 0x22222222 {
-		t.Errorf("cache did not serve a hit: eax = %#x", ip.St.GPR[EAX])
+	if ip.St.GPR[EAX] != 0x44444444 {
+		t.Errorf("verify mode missed a byte change: eax = %#x, want 0x44444444", ip.St.GPR[EAX])
 	}
 }
 

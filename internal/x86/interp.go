@@ -87,29 +87,37 @@ func (ip *Interp) fetchDecode(st *CPUState) (*Inst, error) {
 			return nil, err
 		}
 		if data != nil {
-			off := int(va & (codePageSize - 1))
-			dp := ip.Cache.page(page, def32, gen)
-			if inst := dp.insts[off]; inst != nil {
-				return inst, nil
-			}
-			inst, err := Decode(&pageFetcher{data: data, off: off}, def32)
-			if err == nil {
-				dp.insts[off] = inst
-				return inst, nil
-			}
-			if _, spill := err.(errPageSpill); !spill {
-				// In-page decode outcome (the 15-byte limit): the slow
-				// path would read the same bytes and fail identically.
-				return nil, err
-			}
-			// The instruction crosses the page boundary: re-fetch through
-			// the environment so the next page's translation happens (and
-			// faults and charges) exactly as on the slow path. The first
-			// page's bytes re-read for free — their translation was just
-			// inserted into the TLB.
+			dp, fresh := ip.Cache.page(page, def32, gen)
+			return ip.decodeFromPage(dp, data, int(va&(codePageSize-1)), def32, fresh)
 		}
 	}
 	f := &execFetcher{ip: ip, pos: st.EIP}
+	return Decode(f, def32)
+}
+
+// decodeFromPage returns the cached decode at page offset off, filling
+// the cache on a miss. On a stale page (fresh=false: the page was
+// written since fill time) a hit is first byte-verified against the
+// live page; only decodes whose bytes actually changed re-decode. An
+// instruction that spills past the page's end re-fetches through the
+// environment, so the next page's translation happens (and faults and
+// charges) exactly as on the slow path; the first page's bytes re-read
+// for free — their translation was just inserted into the TLB. In-page
+// decode failures (the 15-byte limit) surface as-is: the slow path
+// would read the same bytes and fail identically.
+func (ip *Interp) decodeFromPage(dp *decodedPage, data []byte, off int, def32, fresh bool) (*Inst, error) {
+	if inst := dp.insts[off]; inst != nil && (fresh || instValid(inst, data, off)) {
+		return inst, nil
+	}
+	inst, err := Decode(&pageFetcher{data: data, off: off}, def32)
+	if err == nil {
+		cacheInst(dp, data, off, inst)
+		return inst, nil
+	}
+	if _, spill := err.(errPageSpill); !spill {
+		return nil, err
+	}
+	f := &execFetcher{ip: ip, pos: ip.St.EIP}
 	return Decode(f, def32)
 }
 
@@ -129,6 +137,17 @@ func (ip *Interp) Step() error {
 	st.IntShadow = false
 
 	inst, err := ip.fetchDecode(st)
+	return ip.stepDecoded(inst, err, prevShadow)
+}
+
+// stepDecoded is the back half of Step: execute an already-fetched
+// instruction (or route the fetch error err), with the interrupt shadow
+// already consumed and prevShadow holding its pre-fetch value for the
+// rollback snapshot. StepBlock shares it so every mid-flight fallback
+// from the fused path behaves byte-for-byte like the sequential
+// interpreter without re-translating the fetch address.
+func (ip *Interp) stepDecoded(inst *Inst, err error, prevShadow bool) error {
+	st := ip.St
 	if err == nil && instNoFault(inst) {
 		// The instruction provably cannot fault, exit or error, so the
 		// rollback snapshot below is dead weight; skip the copy.

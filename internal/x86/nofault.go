@@ -10,6 +10,12 @@ package x86
 // The classification is deliberately conservative: anything not listed
 // keeps the snapshot. Listing an instruction that can fail is a
 // simulator bug (Step panics), never a guest-triggerable condition.
+//
+// The superblock layer (superblock.go) builds on this classifier:
+// InstFusible narrows it further (no ExtraCycles producers) to chain
+// no-fault runs into fused blocks. Growing this list therefore also
+// grows superblock coverage — and misclassification is caught by the
+// same panic in both the single-step and fused paths.
 func instNoFault(inst *Inst) bool {
 	if inst.TwoByte {
 		return twoByteNoFault(inst)
