@@ -21,6 +21,7 @@ import (
 	"nova/internal/hypervisor"
 	"nova/internal/prof"
 	"nova/internal/services"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/vmm"
@@ -54,6 +55,8 @@ func main() {
 	profPeriod := flag.Uint64("prof-period", 10_000, "virtual cycles between profile samples for -prof")
 	statsFile := flag.String("stats", "", "write the encoded resource-accounting snapshot to this file (read it with nova-stat)")
 	statsEpoch := flag.Uint64("stats-epoch", 0, "virtual-time epoch length in cycles for -stats (0 = default)")
+	spanFile := flag.String("span", "", "write the encoded request spans to this file (read it with nova-span)")
+	spanCap := flag.Int("span-capacity", 65536, "per-CPU span-ring capacity for -span")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
@@ -70,7 +73,7 @@ func main() {
 
 	if *workload == "boot" {
 		runBoot(model, *image, *traceFile, *metricsFile, *traceCap, !*decodeCache, !*superblocks,
-			*profFile, *profPeriod, *statsFile, hw.Cycles(*statsEpoch))
+			*profFile, *profPeriod, *statsFile, hw.Cycles(*statsEpoch), *spanFile, *spanCap)
 		stopProfiles()
 		return
 	}
@@ -114,6 +117,12 @@ func main() {
 		if cfg.StatEpoch == 0 {
 			cfg.StatEpoch = stat.DefaultEpochLen
 		}
+	}
+	if *spanFile != "" {
+		if mode == guest.ModeNative {
+			fail("-span requires a virtualized mode (request origins live in the VMM and servers)")
+		}
+		cfg.SpanCapacity = *spanCap
 	}
 	r, err := guest.NewRunner(cfg, img)
 	if err != nil {
@@ -177,6 +186,22 @@ func main() {
 		}
 		writeStats(*statsFile, b, r.Stat)
 	}
+	writeSpans(r.Spans, *spanFile)
+}
+
+// writeSpans saves the encoded request spans.
+func writeSpans(sr *span.Recorder, path string) {
+	if path == "" || sr == nil {
+		return
+	}
+	b, err := sr.Encode()
+	if err != nil {
+		fail("encode spans: %v", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fail("write spans: %v", err)
+	}
+	fmt.Printf("spans: %s (%d opened, %d closed, hash %#x)\n", path, sr.Opened, sr.Closed, sr.Hash())
 }
 
 // writeStats saves an encoded resource-accounting snapshot.
@@ -271,7 +296,7 @@ func startProfiles(cpuFile, memFile string) func() {
 // sector (or a built-in demo that prints via INT 10h).
 func runBoot(model hw.CPUModel, imagePath, traceFile, metricsFile string, traceCap int,
 	disableDecodeCache, disableSuperblocks bool, profFile string, profPeriod uint64,
-	statsFile string, statsEpoch hw.Cycles) {
+	statsFile string, statsEpoch hw.Cycles, spanFile string, spanCap int) {
 	var sector []byte
 	if imagePath != "" {
 		b, err := os.ReadFile(imagePath)
@@ -341,6 +366,9 @@ msg:
 	if statsFile != "" {
 		k.AttachStats(statsEpoch)
 	}
+	if spanFile != "" {
+		k.AttachSpans(spanCap)
+	}
 	k.Run(k.Now() + 500_000_000)
 	fmt.Printf("console: %q\n", m.Console())
 	fmt.Printf("BIOS calls: %d, VM exits: %d\n", m.Stats.BIOSCalls, m.EC.VCPU.TotalExits())
@@ -364,6 +392,7 @@ msg:
 		}
 		writeStats(statsFile, b, k.Stat)
 	}
+	writeSpans(k.Spans, spanFile)
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,203 @@
+// Command nova-span renders a request-span file captured with
+// `nova-run -span` (or any other span.Recorder user). Three views:
+//
+//	nova-span run.spans                   # per-class tails + critical paths
+//	nova-span -format chrome run.spans    # Chrome trace_event JSON
+//	nova-span -format json run.spans      # the full report as JSON
+//
+// The report view shows, per request class, the exact p50/p99/p999
+// virtual-time latency over every completed request plus the
+// critical-path decomposition into guest / kernel-IPC / emulation /
+// server / queueing segments; -requests N additionally dumps the first
+// N individual requests with their per-segment paths (each summing
+// exactly to the request's end-to-end latency).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"nova/internal/span"
+)
+
+func main() {
+	format := flag.String("format", "report", "report|chrome|json")
+	requests := flag.Int("requests", 0, "in report format, also dump the first N individual requests")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: nova-span [-format report|chrome|json] [-requests N] FILE")
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	d, err := span.Decode(b)
+	if err != nil {
+		fail("%v", err)
+	}
+	warnTruncation(d)
+	spans := span.BuildSpans(d)
+	switch *format {
+	case "report":
+		report(d, spans, *requests)
+	case "chrome":
+		chrome(d, spans)
+	case "json":
+		rep := span.BuildReport(d, spans)
+		out := struct {
+			Meta   span.Meta    `json:"meta"`
+			Report *span.Report `json:"report"`
+			Spans  []*span.Span `json:"spans"`
+		}{d.Meta, rep, spans}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck
+	default:
+		fail("unknown format %q", *format)
+	}
+}
+
+// warnTruncation prints one stderr notice per CPU whose span ring
+// wrapped: spans whose open record was overwritten are dropped from the
+// reconstruction, so the report covers only the tail of the run.
+func warnTruncation(d *span.Data) {
+	for cpu, n := range d.Overwritten {
+		if n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"nova-span: warning: cpu%d ring overwrote %d records; the report covers only the tail of the run (raise -span-capacity)\n",
+				cpu, n)
+		}
+	}
+}
+
+func report(d *span.Data, spans []*span.Span, requests int) {
+	rep := span.BuildReport(d, spans)
+	fmt.Printf("spans: %s @ %d MHz, %d CPU(s), ring capacity %d\n",
+		d.Meta.Model, d.Meta.FreqMHz, d.Meta.NumCPUs, d.Meta.RingCapacity)
+	fmt.Printf("requests: %d opened, %d closed over the whole run\n\n", rep.Opened, rep.Closed)
+
+	mhz := float64(d.Meta.FreqMHz)
+	if mhz == 0 {
+		mhz = 1
+	}
+	us := func(c uint64) float64 { return float64(c) / mhz }
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Println("virtual-time latency per request class (cycles; exact percentiles):")
+	fmt.Fprintln(w, "class\tcount\topen\tfailed\tmin\tmean\tp50\tp99\tp999\tmax\t")
+	for _, c := range rep.Classes {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			c.Class, c.Count, c.Open, c.Failed, c.Min, c.Mean, c.P50, c.P99, c.P999, c.Max)
+	}
+	w.Flush() //nolint:errcheck
+
+	for _, c := range rep.Classes {
+		if len(c.Segs) == 0 {
+			continue
+		}
+		var total int64
+		for _, s := range c.Segs {
+			total += s.Total
+		}
+		fmt.Printf("\n%s critical path (%d requests):\n", c.Class, c.Count)
+		for _, s := range c.Segs {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(s.Total) / float64(total)
+			}
+			fmt.Fprintf(w, "%s\t%d\tcycles\t%d\tavg\t%5.1f%%\t\n", s.Seg, s.Total, s.Avg, pct)
+		}
+		w.Flush() //nolint:errcheck
+	}
+
+	if requests > 0 {
+		fmt.Printf("\nindividual requests (first %d):\n", requests)
+		n := 0
+		for _, s := range spans {
+			if n >= requests {
+				break
+			}
+			n++
+			status := "open"
+			if s.Closed {
+				switch s.Status {
+				case span.StatusOK:
+					status = "ok"
+				case span.StatusError:
+					status = "error"
+				case span.StatusNoIRQ:
+					status = "ok-no-irq"
+				default:
+					status = fmt.Sprintf("status-%d", s.Status)
+				}
+			}
+			fmt.Printf("#%d %s detail=%d cpu=%d open=%d", uint64(s.ID), s.Name, s.Detail, s.CPU, s.Open)
+			if s.Closed {
+				fmt.Printf(" close=%d latency=%d [%s]", s.End, s.Duration(), status)
+			} else {
+				fmt.Printf(" [%s]", status)
+			}
+			fmt.Println()
+			var sum int64
+			for _, p := range s.Path {
+				fmt.Printf("    %-12s @%d  %d cycles (%.2f us)\n", p.Name, p.Start, p.Dur, us(uint64(p.Dur))/1)
+				sum += p.Dur
+			}
+			for _, a := range s.Annot {
+				fmt.Printf("    annot key=%d val=%d\n", a.Key, a.Val)
+			}
+			if s.Closed && len(s.Path) > 0 {
+				fmt.Printf("    path sum = %d (end-to-end %d)\n", sum, s.Duration())
+			}
+		}
+	}
+}
+
+// chromeEvent is one trace_event record (JSON Array Format), matching
+// the nova-trace chrome renderer so both files load side by side.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+func chrome(d *span.Data, spans []*span.Span) {
+	mhz := float64(d.Meta.FreqMHz)
+	if mhz == 0 {
+		mhz = 1
+	}
+	us := func(c int64) float64 { return float64(c) / mhz }
+	var out []chromeEvent
+	for _, s := range spans {
+		id := fmt.Sprintf("%d", uint64(s.ID))
+		for _, p := range s.Path {
+			if p.Dur <= 0 {
+				continue // cross-CPU clock skew can yield non-positive hops
+			}
+			out = append(out, chromeEvent{
+				Name: s.Name + ":" + p.Name,
+				Ph:   "X",
+				Ts:   us(int64(p.Start)),
+				Dur:  us(p.Dur),
+				PID:  1,
+				TID:  int(s.CPU),
+				Args: map[string]string{"span": id, "detail": fmt.Sprintf("%d", s.Detail)},
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(out) //nolint:errcheck
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, strings.TrimRight(format, "\n")+"\n", args...)
+	os.Exit(1)
+}

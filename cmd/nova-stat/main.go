@@ -101,8 +101,12 @@ func report(d *stat.Data, filter string) {
 		case md.Kind == "gauge":
 			detail = fmt.Sprintf("max %d", md.Max)
 		case md.Hist != nil && md.Hist.Count > 0:
-			detail = fmt.Sprintf("avg %d cycles, min %d, max %d",
-				md.Hist.Sum/md.Hist.Count, md.Hist.Min, md.Hist.Max)
+			h := md.Hist
+			// p50/p99/p999 are nearest-rank quantiles from the log2
+			// buckets: exact ranks, bucket-upper-bound values.
+			detail = fmt.Sprintf("avg %d cycles, min %d, p50 %d, p99 %d, p999 %d, max %d",
+				h.Sum/h.Count, h.Min,
+				h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max)
 		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\n", md.Name, md.Kind, md.Total, rate, detail)
 	}

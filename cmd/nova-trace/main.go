@@ -56,16 +56,26 @@ func main() {
 	}
 }
 
-// warnTruncation prints a stderr notice when any per-CPU ring wrapped:
-// event-derived views (attrib spans, chrome timeline) then cover only
-// the tail of the run, though the counters and histograms in the
-// metrics section still cover everything.
+// warnTruncation prints exactly one stderr notice per CPU whose ring
+// wrapped: event-derived views (attrib spans, chrome timeline) then
+// cover only the tail of the run, though the counters and histograms in
+// the metrics section still cover everything. The overwrite counts are
+// record-granular (one per overwritten record, not per emission call);
+// the ring headers and the metrics section report the same counter, so
+// take the max rather than warning from each source separately.
 func warnTruncation(d *trace.TraceData) {
-	for cpu, over := range d.Overwritten {
-		if over > 0 {
+	over := make([]uint64, len(d.Overwritten))
+	copy(over, d.Overwritten)
+	for _, r := range d.Metrics.Rings {
+		if r.CPU >= 0 && r.CPU < len(over) && r.Overwritten > over[r.CPU] {
+			over[r.CPU] = r.Overwritten
+		}
+	}
+	for cpu, n := range over {
+		if n > 0 {
 			fmt.Fprintf(os.Stderr,
 				"nova-trace: warning: cpu%d ring overwrote %d events; event-derived output covers only the tail of the run (raise -trace-capacity)\n",
-				cpu, over)
+				cpu, n)
 		}
 	}
 }

@@ -290,3 +290,79 @@ func (s *Superblock) GoodVerify(live []uint64) bool {
 	}
 	return true
 }
+
+// Recorder mirrors span.Recorder: the request-span tracer rides the
+// same zero-perturbation contract — opening, transitioning, or closing
+// a span must never charge, mutate guest state, or read the wall clock,
+// and its encoding must never range over a map.
+type Recorder struct {
+	clk    *Clock
+	mem    *Mem
+	next   uint64
+	active map[uint64]int
+	order  []uint64
+}
+
+// Open assigns the next span ID and records the open: pure host-side
+// bookkeeping, fine.
+func (r *Recorder) Open(now Cycles) uint64 {
+	r.next++
+	r.active[r.next] = int(now)
+	r.order = append(r.order, r.next)
+	return r.next
+}
+
+// BadOpenCharge charges simulated cycles for recording a span open.
+func (r *Recorder) BadOpenCharge(now Cycles) uint64 { // want "charges simulated cycles"
+	r.clk.Charge(1)
+	r.next++
+	return r.next
+}
+
+// BadCloseMutate writes guest-visible state while closing a span.
+func (r *Recorder) BadCloseMutate(id uint64) { // want "mutates guest-visible platform state"
+	r.mem.Write32(0, uint32(id))
+}
+
+// BadOpenWallClock stamps a span with host time instead of virtual
+// time.
+func (r *Recorder) BadOpenWallClock() int64 { // want "reads the wall clock"
+	return time.Now().UnixNano()
+}
+
+// BadEncodeSpans serializes by ranging over the active-span map: two
+// identical runs would emit non-byte-identical span files.
+func (r *Recorder) BadEncodeSpans() []uint64 {
+	var out []uint64
+	for id := range r.active { // want "ranges over a map"
+		out = append(out, id)
+	}
+	return out
+}
+
+// GoodEncodeSpans walks the ID-ordered slice; the map is lookup-only.
+func (r *Recorder) GoodEncodeSpans() []uint64 {
+	var out []uint64
+	for _, id := range r.order {
+		out = append(out, uint64(r.active[id]))
+	}
+	return out
+}
+
+// Port is an instrumented IPC boundary (not trace-layer itself).
+type Port struct {
+	rec *Recorder
+	clk *Clock
+}
+
+// GoodPropagate is the propagation idiom: read virtual time, record the
+// span event, no charge from the recording itself.
+func (p *Port) GoodPropagate() uint64 {
+	return p.rec.Open(p.clk.Now())
+}
+
+// BadPropagateCharging does chargeable work inside the span call's
+// arguments.
+func (p *Port) BadPropagateCharging(d *Device) {
+	p.rec.Open(d.step()) // want "charges simulated cycles"
+}

@@ -10,7 +10,7 @@ import (
 // profile sample must be invisible to the simulation. Three rules:
 //
 //  1. Trace-layer functions — everything declared in a package named
-//     "trace", "prof" or "stat", plus methods on the trace types
+//     "trace", "prof", "stat" or "span", plus methods on the trace types
 //     (Tracer, Ring, Histogram, CounterSet, Profiler, Buf, the
 //     metric registry's Registry/Metric/Counter/Gauge, and the
 //     interpreter's host-side DecodeCache/Superblock acceleration
@@ -53,6 +53,10 @@ var traceTypeNames = map[string]bool{
 	// invalidating them must be invisible to the simulation, exactly
 	// like emitting a trace record.
 	"DecodeCache": true, "Superblock": true,
+	// internal/span's request recorder rides the same contract: opening,
+	// transitioning, or closing a span must never charge, mutate, or
+	// read the wall clock, and its encoding must not range over a map.
+	"Recorder": true,
 }
 
 func runTracepure(pass *Pass) {
@@ -135,10 +139,11 @@ func reportMapRanges(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
 }
 
 // isTraceLayerFunc reports whether fn belongs to the trace layer: any
-// function in a package named "trace", "prof" or "stat", or a method on
-// one of the trace types regardless of package.
+// function in a package named "trace", "prof", "stat" or "span", or a
+// method on one of the trace types regardless of package.
 func isTraceLayerFunc(pkg *Package, fn *types.Func) bool {
-	if name := pkg.Types.Name(); name == "trace" || name == "prof" || name == "stat" {
+	switch pkg.Types.Name() {
+	case "trace", "prof", "stat", "span":
 		return true
 	}
 	return recvIsTraceType(fn)

@@ -72,6 +72,10 @@ type Table struct {
 	// (instructions, exits, IPC, DMA, ...), when the experiment ran
 	// guest workloads.
 	Resources *Resources `json:"resources,omitempty"`
+	// Latency holds the per-request-class virtual-time latency tails
+	// (exact p50/p99/p999) and critical-path segment totals, when the
+	// experiment recorded request spans.
+	Latency []LatencyClass `json:"latency,omitempty"`
 }
 
 func (t *Table) String() string {

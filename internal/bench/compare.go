@@ -137,4 +137,10 @@ func compareExperiment(old, new Experiment, drift, advise func(string, ...any)) 
 	case or != nil && *or != *nr:
 		drift("%s: resource profile %+v -> %+v", name, *or, *nr)
 	}
+	// Latency blocks are pure virtual-time quantities, so any movement
+	// (a shifted percentile, a changed critical-path split) is a real
+	// behavioral drift, never host noise.
+	if fmt.Sprint(ot.Latency) != fmt.Sprint(nt.Latency) {
+		drift("%s: latency block differs:\n  old: %+v\n  new: %+v", name, ot.Latency, nt.Latency)
+	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func sampleReport(t *testing.T) []byte {
 func TestReportProvenance(t *testing.T) {
 	b := string(sampleReport(t))
 	for _, want := range []string{
-		`"schema_version": 2`,
+		fmt.Sprintf(`"schema_version": %d`, ReportSchemaVersion),
 		`"scale": "quick"`,
 		`"go_version": "` + runtime.Version() + `"`,
 		`"total_virtual_cycles": 13122`, // 12345 + 777
@@ -120,7 +121,8 @@ func TestCompareScaleMismatch(t *testing.T) {
 	if _, err := Compare(base, []byte(cur)); err == nil {
 		t.Fatal("scale mismatch not rejected")
 	}
-	cur = strings.Replace(string(base), `"schema_version": 2`, `"schema_version": 1`, 1)
+	cur = strings.Replace(string(base),
+		fmt.Sprintf(`"schema_version": %d`, ReportSchemaVersion), `"schema_version": 1`, 1)
 	if _, err := Compare(base, []byte(cur)); err == nil {
 		t.Fatal("schema mismatch not rejected")
 	}

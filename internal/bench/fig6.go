@@ -38,10 +38,15 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 	var profSum *ProfSummary
 	var vcycles uint64
 	res := &Resources{}
+	lat := &latencyAcc{}
 	img := guest.MustBuild(guest.DiskReadKernel())
 	for _, bs := range blockSizes {
 		for _, cfg := range modes {
 			cfg.ProfilePeriod = benchProfPeriod
+			// Record request spans on the virtualized runs (ignored in
+			// native mode). Zero-perturbation: the utilization and
+			// exit-count columns are bit-identical either way.
+			cfg.SpanCapacity = benchSpanCapacity
 			r, err := guest.NewRunner(cfg, img)
 			if err != nil {
 				return nil, nil, err
@@ -72,6 +77,9 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 			}
 			mergeProf(&profSum, r.Prof.Data())
 			res.AddRun(r)
+			if err := lat.add(r.Spans); err != nil {
+				return nil, nil, fmt.Errorf("fig6 %v bs=%d spans: %w", cfg.Mode, bs, err)
+			}
 			points = append(points, p)
 		}
 	}
@@ -96,5 +104,6 @@ func RunFig6(sc Scale) (*Table, []Fig6Point, error) {
 	t.Prof = profSum
 	t.VirtualCycles = vcycles
 	t.Resources = res
+	t.Latency = lat.block()
 	return t, points, nil
 }

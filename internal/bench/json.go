@@ -8,7 +8,7 @@ import (
 // ReportSchemaVersion identifies the report layout. Bump it when a
 // field changes meaning so `nova-bench -compare` refuses to diff
 // incompatible artifacts instead of reporting nonsense drift.
-const ReportSchemaVersion = 2
+const ReportSchemaVersion = 3 // v3: per-experiment Latency blocks (request-span tails)
 
 // Report is the machine-readable form of a bench run, written by
 // `nova-bench -out BENCH_<scale>.json`. It carries the same tables the

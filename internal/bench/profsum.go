@@ -11,6 +11,13 @@ import (
 // so enabling it here cannot move any number in the tables.
 const benchProfPeriod = 10_000
 
+// benchSpanCapacity sizes the per-CPU span rings of the experiments
+// that record request spans (enough to hold every request of a quick
+// or full run without wrapping). Span recording is zero-perturbation
+// (enforced by TestSpanABIdentity), so attaching it cannot move any
+// number in the tables.
+const benchSpanCapacity = 1 << 16
+
 // mergeProf folds one profiled run into an experiment's summary:
 // sample counts accumulate, and the hottest address across all of the
 // experiment's runs wins the top slot.

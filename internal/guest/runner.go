@@ -7,6 +7,7 @@ import (
 	"nova/internal/hypervisor"
 	"nova/internal/prof"
 	"nova/internal/services"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/vmm"
@@ -111,6 +112,12 @@ type RunnerConfig struct {
 	// cycle totals, traces and final state are bit-identical with
 	// accounting on or off.
 	StatEpoch hw.Cycles
+
+	// SpanCapacity, when non-zero, attaches the request-span recorder
+	// with per-CPU rings of that many records. Only meaningful for the
+	// virtualized modes (request origins live in the VMM and servers).
+	// Zero-perturbation like the tracer: bit-identical runs either way.
+	SpanCapacity int
 }
 
 // Runner executes one guest kernel under one configuration and exposes
@@ -140,6 +147,10 @@ type Runner struct {
 	// Stat is the resource-accounting registry, set when Cfg.StatEpoch
 	// is non-zero.
 	Stat *stat.Registry
+
+	// Spans is the request-span recorder, set when Cfg.SpanCapacity > 0
+	// (virtualized modes only).
+	Spans *span.Recorder
 
 	guestBase uint64
 }
@@ -275,6 +286,9 @@ func NewRunner(cfg RunnerConfig, image []byte) (*Runner, error) {
 	if cfg.StatEpoch != 0 {
 		r.Stat = k.AttachStats(cfg.StatEpoch)
 	}
+	if cfg.SpanCapacity > 0 {
+		r.Spans = k.AttachSpans(cfg.SpanCapacity)
+	}
 	return r, nil
 }
 
@@ -310,6 +324,15 @@ func (r *Runner) EncodeStats() ([]byte, error) {
 		return nil, fmt.Errorf("guest: no stat registry attached (set StatEpoch)")
 	}
 	return r.Stat.Snapshot(r.Clock().Now()).Encode()
+}
+
+// EncodeSpans serializes the recorded request spans. Call it after the
+// run finishes.
+func (r *Runner) EncodeSpans() ([]byte, error) {
+	if r.Spans == nil {
+		return nil, fmt.Errorf("guest: no span recorder attached (set SpanCapacity)")
+	}
+	return r.Spans.Encode()
 }
 
 // NICVector is the guest interrupt vector of the passthrough NIC

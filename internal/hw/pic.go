@@ -121,6 +121,21 @@ func (p *I8259) Acknowledge() (uint8, bool) {
 	return p.baseSlave + uint8(line-8), true
 }
 
+// LineFor maps an acknowledged vector back to its IRQ line using the
+// programmed ICW2 bases (the inverse of Acknowledge's vector math). It
+// is a pure lookup: no PIC state changes. Observability consumers use
+// it to correlate an injected vector with the device line that raised
+// it.
+func (p *I8259) LineFor(vec uint8) (int, bool) {
+	if d := int(vec) - int(p.baseMaster); d >= 0 && d < 8 {
+		return d, true
+	}
+	if d := int(vec) - int(p.baseSlave); d >= 0 && d < 8 {
+		return d + 8, true
+	}
+	return 0, false
+}
+
 // EOI signals end-of-interrupt for the highest-priority in-service line
 // of the addressed chip (non-specific EOI).
 func (p *I8259) eoi(slave bool) {

@@ -5,6 +5,7 @@ import (
 
 	"nova/internal/cap"
 	"nova/internal/hw"
+	"nova/internal/span"
 	"nova/internal/trace"
 )
 
@@ -37,6 +38,22 @@ func (k *Kernel) Call(caller *PD, sel cap.Selector, msg *UTCB) error {
 	if pt.dead || pt.PD.dead {
 		return ErrDead
 	}
+	// A hypercall-initiated portal call with no enclosing request is its
+	// own span (a standalone IPC round-trip). Calls made on behalf of an
+	// in-flight request (e.g. the VMM forwarding a disk command) already
+	// carry the request's span via the active stack — don't nest.
+	if id, _ := k.Spans.Current(k.cpu); id == 0 {
+		sp := k.Spans.Open(k.cpu, k.Now(), span.ClassIPC, span.SegIPC, pt.UID)
+		k.Spans.Begin(k.cpu, sp, span.SegIPC)
+		err := k.portalCall(caller, pt, msg, len(msg.Words))
+		k.Spans.End(k.cpu)
+		status := span.StatusOK
+		if err != nil {
+			status = span.StatusError
+		}
+		k.Spans.Close(k.cpu, k.Now(), sp, status)
+		return err
+	}
 	return k.portalCall(caller, pt, msg, len(msg.Words))
 }
 
@@ -52,6 +69,13 @@ func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
 		crossAS = 1
 	}
 	k.Tracer.Emit(k.cpu, t0, trace.KindIPCCall, pt.UID, uint64(words), crossAS, 0)
+
+	// The CPU's current request span (if any) enters the kernel-IPC
+	// segment for the portal traversal; the caller's segment is restored
+	// when the reply completes. The handler itself (running inline on the
+	// donated SC) transitions to its own segment and back.
+	sp, prevSeg := k.Spans.Current(k.cpu)
+	k.Spans.Transition(k.cpu, t0, sp, span.SegIPC)
 
 	cost := hw.Cycles(portalLookupCost) + k.Plat.Cost.SyscallEntryExit/8 // portal traversal
 	cost += hw.Cycles(words * ipcPerWord)
@@ -115,6 +139,7 @@ func (k *Kernel) portalCall(from *PD, pt *Portal, msg *UTCB, words int) error {
 	}
 	k.charge(reply)
 	end := k.Now()
+	k.Spans.Transition(k.cpu, end, sp, prevSeg)
 	k.Tracer.Emit(k.cpu, end, trace.KindIPCReply, pt.UID, uint64(end-t0), crossAS, 0)
 	k.Tracer.ObserveIPC(uint64(end - t0))
 	from.stats.ipc(end, uint64(words))

@@ -7,6 +7,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/prof"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/trace"
 	"nova/internal/x86"
@@ -141,6 +142,15 @@ type Kernel struct {
 	statReadyWait  stat.Histogram
 	statRunqDepth  []stat.Gauge
 
+	// Spans, when set, records request-scoped causal spans: a span ID is
+	// assigned at each request origin (vAHCI doorbell, NIC RX harvest,
+	// BIOS INT13, standalone portal calls) and every component boundary
+	// the request crosses records a critical-path segment transition.
+	// Same zero-perturbation contract as Tracer/Prof/Stat: recording is
+	// nil-safe, charges nothing, and two span-recorded runs of the same
+	// workload produce byte-identical span files.
+	Spans *span.Recorder
+
 	// Kernel-object identity counters: every PD, EC and semaphore gets
 	// a small dense id and every portal a uid, so trace events can name
 	// objects without carrying pointers.
@@ -267,6 +277,23 @@ func (k *Kernel) AttachTracer(capacity int) *trace.Tracer {
 	}
 	k.Tracer = trace.New(meta, len(k.Plat.CPUs), capacity)
 	return k.Tracer
+}
+
+// AttachSpans enables request-span recording with one ring of the
+// given capacity per CPU, and returns the recorder for later encoding.
+// Like AttachTracer, attachment is retrofit-able at any point; only
+// requests originating after it are recorded.
+//
+// nocharge: observability plumbing; attaching the recorder models no
+// hardware work and must not move the clocks (zero-perturbation rule).
+func (k *Kernel) AttachSpans(capacity int) *span.Recorder {
+	cost := k.Plat.Cost
+	meta := span.Meta{
+		Model:   cost.Model.String(),
+		FreqMHz: cost.FreqMHz,
+	}
+	k.Spans = span.New(meta, len(k.Plat.CPUs), capacity)
+	return k.Spans
 }
 
 // CurCPU returns the CPU whose run loop is active, for trace emission

@@ -13,6 +13,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/trace"
 )
@@ -106,6 +107,7 @@ type DiskServer struct {
 type pendingReq struct {
 	client *diskClient
 	req    DiskRequest
+	span   span.ID // the request's span, carried across the host IRQ
 }
 
 // NewDiskServer creates the disk server domain, claims the AHCI MMIO
@@ -279,8 +281,19 @@ func DecodeRequest(w []uint64) (DiskRequest, error) {
 }
 
 // handleRequest runs on the client's donated SC: it validates, throttles
-// and programs the host controller (Figure 4, steps 2-4).
+// and programs the host controller (Figure 4, steps 2-4). The caller's
+// request span (propagated through the portal via the active stack)
+// spends this handler in the server segment.
 func (ds *DiskServer) handleRequest(cl *diskClient, msg *hypervisor.UTCB) error {
+	cpu := ds.K.CurCPU()
+	sp, prevSeg := ds.K.Spans.Current(cpu)
+	ds.K.Spans.Transition(cpu, ds.K.Now(), sp, span.SegServer)
+	err := ds.serveRequest(cl, msg, sp)
+	ds.K.Spans.Transition(cpu, ds.K.Now(), sp, prevSeg)
+	return err
+}
+
+func (ds *DiskServer) serveRequest(cl *diskClient, msg *hypervisor.UTCB, sp span.ID) error {
 	req, err := DecodeRequest(msg.Words)
 	if err != nil {
 		ds.Stats.Failures++
@@ -325,7 +338,7 @@ func (ds *DiskServer) handleRequest(cl *diskClient, msg *hypervisor.UTCB) error 
 		}
 		r.Add(cl.statDMABytes, now, dma)
 	}
-	ds.issue(slot, cl, req)
+	ds.issue(slot, cl, req, sp)
 	msg.Words = []uint64{1}
 	return nil
 }
@@ -333,7 +346,7 @@ func (ds *DiskServer) handleRequest(cl *diskClient, msg *hypervisor.UTCB) error 
 // issue builds the command structures in driver memory and rings the
 // controller. The client's DMA buffers are mapped into the controller's
 // IOMMU domain for exactly the duration of the transfer.
-func (ds *DiskServer) issue(slot int, cl *diskClient, req DiskRequest) {
+func (ds *DiskServer) issue(slot int, cl *diskClient, req DiskRequest, sp span.ID) {
 	mem := ds.K.Plat.Mem
 	ctba := ds.ctba[slot]
 	// Command header.
@@ -374,7 +387,7 @@ func (ds *DiskServer) issue(slot int, cl *diskClient, req DiskRequest) {
 			ds.dmaDomain.Map(lo, lo, hi-lo, hw.IOMMURead|hw.IOMMUWrite) //nolint:errcheck
 		}
 	}
-	ds.inflight[slot] = &pendingReq{client: cl, req: req}
+	ds.inflight[slot] = &pendingReq{client: cl, req: req, span: sp}
 	ds.K.Tracer.Emit(ds.K.CurCPU(), ds.K.Now(), trace.KindDiskIssue, uint64(req.Op), req.LBA, uint64(req.Count), uint64(slot))
 	ds.mmioWrite(portCI, 1<<uint(slot))
 }
@@ -401,7 +414,11 @@ func (ds *DiskServer) handleIRQ() {
 			okBit = 1
 		}
 		ds.K.Tracer.Emit(ds.K.CurCPU(), ds.K.Now(), trace.KindDiskDone, p.req.Cookie, okBit, p.client.id, 0)
+		// The span surfaces in the server segment for the drain, then
+		// queues again until the client's completion EC is dispatched.
+		ds.K.Spans.Transition(ds.K.CurCPU(), ds.K.Now(), p.span, span.SegServer)
 		p.client.completions = append(p.client.completions, CompletionRecord{Cookie: p.req.Cookie, OK: ok})
+		ds.K.Spans.Transition(ds.K.CurCPU(), ds.K.Now(), p.span, span.SegQueue)
 		if ds.dmaDomain != nil {
 			for _, b := range p.req.Bufs {
 				lo := b.HPA &^ (hw.PageSize - 1)

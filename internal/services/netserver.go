@@ -6,6 +6,7 @@ import (
 	"nova/internal/cap"
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/trace"
 )
@@ -36,6 +37,12 @@ type NetServer struct {
 	// (backpressure instead of unbounded memory).
 	MaxQueued int
 
+	// spanRefs counts, per RX-frame span, the clients that still hold
+	// the frame queued (one frame fans out to every client). The span
+	// closes when the last consumer drains it — a lookup index only,
+	// never iterated, so span ID assignment stays deterministic.
+	spanRefs map[span.ID]int
+
 	Stats struct {
 		Packets   uint64
 		Bytes     uint64
@@ -51,6 +58,7 @@ type netClient struct {
 	pd       *hypervisor.PD
 	doorbell *hypervisor.Semaphore
 	queue    [][]byte
+	spans    []span.ID // parallel to queue: the frame's RX span
 
 	// Precomputed per-client metric names (recording is nil-safe at the
 	// registry, so these are always set).
@@ -75,6 +83,7 @@ func NewNetServer(k *hypervisor.Kernel, memPage uint32) (*NetServer, error) {
 		slots:     slots,
 		clients:   make(map[uint64]*netClient),
 		MaxQueued: 256,
+		spanRefs:  make(map[span.ID]int),
 	}
 	// 1 page ring + 32 pages of buffers.
 	if err := k.DelegateMem(k.Root, memPage, pd, memPage, 33, cap.RightRead|cap.RightWrite); err != nil {
@@ -160,7 +169,9 @@ func (ns *NetServer) AddClient(pd *hypervisor.PD, name string) (uint64, *hypervi
 	return ns.nextID, bell, nil
 }
 
-// Receive drains a client's packet queue.
+// Receive drains a client's packet queue. Draining is the end of each
+// frame's causal chain for this client; the frame's span closes when
+// the last client holding it drains (exactly once per frame).
 func (ns *NetServer) Receive(clientID uint64) [][]byte {
 	cl := ns.clients[clientID]
 	if cl == nil {
@@ -168,6 +179,18 @@ func (ns *NetServer) Receive(clientID uint64) [][]byte {
 	}
 	pkts := cl.queue
 	cl.queue = nil
+	sps := cl.spans
+	cl.spans = nil
+	cpu, now := ns.K.CurCPU(), ns.K.Now()
+	for _, sp := range sps {
+		if sp == 0 {
+			continue
+		}
+		if ns.spanRefs[sp]--; ns.spanRefs[sp] <= 0 {
+			delete(ns.spanRefs, sp)
+			ns.K.Spans.Close(cpu, now, sp, span.StatusOK)
+		}
+	}
 	return pkts
 }
 
@@ -195,6 +218,12 @@ func (ns *NetServer) handleIRQ() {
 		pkt := mem.ReadBytes(hw.PhysAddr(ns.bufBase+uint64(ns.head)*netBufSize), length)
 		ns.Stats.Packets++
 		ns.Stats.Bytes += uint64(length)
+		// The harvested frame is a request origin. One span per frame,
+		// assigned before the client fan-out loop (the map iteration
+		// order must never influence span ID assignment).
+		cpu := ns.K.CurCPU()
+		sp := ns.K.Spans.Open(cpu, ns.K.Now(), span.ClassNetRX, span.SegServer, uint64(length))
+		ns.K.Spans.Annotate(cpu, ns.K.Now(), sp, span.AnnotBytes, uint64(length))
 		ns.K.ChargeUser(hw.Cycles(200 + length/8)) // copy + bookkeeping
 
 		nDelivered := uint64(0)
@@ -204,6 +233,10 @@ func (ns *NetServer) handleIRQ() {
 				continue
 			}
 			cl.queue = append(cl.queue, pkt)
+			if sp != 0 {
+				cl.spans = append(cl.spans, sp)
+				ns.spanRefs[sp]++
+			}
 			ns.Stats.Delivered++
 			nDelivered++
 			delivered[cl] = true
@@ -214,6 +247,14 @@ func (ns *NetServer) handleIRQ() {
 			}
 		}
 		ns.K.Tracer.Emit(ns.K.CurCPU(), ns.K.Now(), trace.KindNetRX, uint64(length), nDelivered, 0, 0)
+		if sp != 0 {
+			if nDelivered == 0 {
+				// Every client backlogged: the frame is dropped.
+				ns.K.Spans.Close(cpu, ns.K.Now(), sp, span.StatusError)
+			} else {
+				ns.K.Spans.Transition(cpu, ns.K.Now(), sp, span.SegQueue)
+			}
+		}
 
 		mem.Write8(descAddr+12, 0)    // clear status
 		ns.mmioWrite(0x2818, ns.head) // return the slot (RDT)

@@ -22,6 +22,11 @@ func (d *Data) JSON() ([]byte, error) {
 // histograms as cumulative `_bucket{le=...}` series plus `_count` and
 // `_sum`. Epoch cells are not rendered here (they are a simulation
 // concept); use JSON or the nova-stat epochs view for the time series.
+// Percentiles are deliberately NOT emitted here — OpenMetrics
+// histograms carry buckets only, and scrapers derive quantiles
+// themselves — keeping this output byte-compatible with older
+// consumers; use `nova-stat report` (HistogramData.Quantile) for
+// p50/p99/p999.
 func (d *Data) OpenMetrics() []byte {
 	var buf bytes.Buffer
 	lastFamily := ""

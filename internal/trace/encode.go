@@ -64,6 +64,40 @@ type HistogramData struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
+// Quantile returns the nearest-rank q-quantile derivable from the log2
+// buckets: the upper bound of the bucket holding the ceil(q*Count)-th
+// smallest observation, clamped to the observed [Min, Max]. The rank is
+// exact (bucket counts are exact); only the value within the bucket is
+// an upper bound, so p50/p99/p999 read from here never understate the
+// tail. Returns 0 for an empty histogram.
+func (d *HistogramData) Quantile(q float64) uint64 {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(d.Count))
+	if float64(rank) < q*float64(d.Count) {
+		rank++ // ceil without importing math
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range d.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v := b.Hi
+			if v > d.Max {
+				v = d.Max
+			}
+			if v < d.Min {
+				v = d.Min
+			}
+			return v
+		}
+	}
+	return d.Max
+}
+
 // Data converts a histogram to its serialized form (non-empty buckets
 // only, in value order).
 func (h *Histogram) Data() HistogramData {
@@ -236,7 +270,7 @@ type TraceData struct {
 }
 
 // Events returns all events merged into the (time, CPU, seq) order.
-func (d *TraceData) Events() []Event { return mergeEvents(d.PerCPU) }
+func (d *TraceData) Events() []Event { return MergeEvents(d.PerCPU) }
 
 // Decode parses a serialized trace.
 func Decode(b []byte) (*TraceData, error) {

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"testing"
+
+	"nova/internal/hw"
+)
+
+// TestRingOverwriteRecordGranular fills a tiny ring past capacity using
+// multi-record emissions (the span recorder's open emits two records per
+// call) and checks that the overwrite counter is record-granular: it
+// must count dropped RECORDS, not emission calls, and must satisfy
+// Overwritten() == pushed - Len().
+func TestRingOverwriteRecordGranular(t *testing.T) {
+	const capacity = 4
+	r := NewRing(0, capacity)
+
+	// 7 emissions of 2 records each = 14 records into a 4-slot ring.
+	pushed := 0
+	for i := 0; i < 7; i++ {
+		now := hw.Cycles(10 * i)
+		r.Push(now, KindVMExit, uint64(i), 1, 0, 0) // "open"
+		r.Push(now, KindVMResume, uint64(i), 2, 0, 0)
+		pushed += 2
+	}
+
+	if r.Len() != capacity {
+		t.Fatalf("Len() = %d, want %d (full ring)", r.Len(), capacity)
+	}
+	wantOver := uint64(pushed - capacity)
+	if r.Overwritten() != wantOver {
+		t.Errorf("Overwritten() = %d, want %d (record-granular: %d records pushed, %d live)",
+			r.Overwritten(), wantOver, pushed, r.Len())
+	}
+	if got := r.Overwritten(); got != uint64(pushed)-uint64(r.Len()) {
+		t.Errorf("invariant Overwritten() == pushed - Len() broken: %d != %d - %d",
+			got, pushed, r.Len())
+	}
+
+	// The survivors are the newest records, contiguous in sequence, and
+	// the first surviving Seq equals Overwritten (drop-from-front).
+	ev := r.Events()
+	if len(ev) != capacity {
+		t.Fatalf("Events() returned %d records, want %d", len(ev), capacity)
+	}
+	if ev[0].Seq != r.Overwritten() {
+		t.Errorf("first surviving Seq = %d, want Overwritten() = %d", ev[0].Seq, r.Overwritten())
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Errorf("sequence gap: ev[%d].Seq = %d after %d", i, ev[i].Seq, ev[i-1].Seq)
+		}
+	}
+
+	// A ring that never wrapped reports zero.
+	small := NewRing(1, 8)
+	small.Push(1, KindVMExit, 0, 0, 0, 0)
+	small.Push(2, KindVMResume, 0, 0, 0, 0)
+	if small.Overwritten() != 0 {
+		t.Errorf("unwrapped ring Overwritten() = %d, want 0", small.Overwritten())
+	}
+}
+
+// TestHistogramQuantile checks the nearest-rank quantile extraction from
+// log2 buckets: exact ranks, bucket-upper-bound values clamped to the
+// observed min/max.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations: 98 fast (value 100, bucket [64,127]),
+	// 1 slow (1000, bucket [512,1023]), 1 very slow (9000, [8192,16383]).
+	for i := 0; i < 98; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1000)
+	h.Observe(9000)
+	d := h.Data()
+
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 127},   // rank 50 is in the fast bucket; upper bound 127
+		{0.98, 127},   // rank 98 still fast
+		{0.99, 1023},  // rank 99 is the slow observation's bucket
+		{0.999, 9000}, // rank 100 is the very slow one, clamped to Max
+		{1.0, 9000},
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Single observation: all quantiles collapse to it (clamped to
+	// [Min, Max]).
+	var one Histogram
+	one.Observe(5)
+	od := one.Data()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got := od.Quantile(q); got != 5 {
+			t.Errorf("single-observation Quantile(%v) = %d, want 5", q, got)
+		}
+	}
+
+	// Empty histogram and nil data are zero.
+	var empty Histogram
+	ed := empty.Data()
+	if ed.Quantile(0.5) != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", ed.Quantile(0.5))
+	}
+	var nd *HistogramData
+	if nd.Quantile(0.5) != 0 {
+		t.Errorf("nil Quantile(0.5) != 0")
+	}
+}

@@ -174,11 +174,12 @@ type Event struct {
 // Ring is one CPU's fixed-capacity event buffer. When full, the oldest
 // event is overwritten and counted; emission never fails or allocates.
 type Ring struct {
-	cpu uint8
-	buf []Event
-	w   int    // next write index
-	n   int    // live events
-	seq uint64 // sequence number of the next event
+	cpu  uint8
+	buf  []Event
+	w    int    // next write index
+	n    int    // live events
+	seq  uint64 // sequence number of the next event
+	over uint64 // records dropped to make room (not emission calls)
 }
 
 // NewRing creates a ring for the given CPU with the given capacity
@@ -196,11 +197,19 @@ func (r *Ring) Cap() int { return len(r.buf) }
 // Len returns the number of live events.
 func (r *Ring) Len() int { return r.n }
 
-// Overwritten returns how many events were dropped to make room.
-func (r *Ring) Overwritten() uint64 { return r.seq - uint64(r.n) }
+// Overwritten returns how many RECORDS were dropped to make room. The
+// counter is bumped once per overwritten record inside push, not once
+// per emission call, so multi-record emissions (a span open emits an
+// open record plus its initial segment record) account every dropped
+// record individually. The invariant Overwritten() == seq - Len() is
+// checked by the ring regression test.
+func (r *Ring) Overwritten() uint64 { return r.over }
 
 // push appends an event, overwriting the oldest if full.
 func (r *Ring) push(now hw.Cycles, k Kind, a0, a1, a2, a3 uint64) {
+	if r.n == len(r.buf) {
+		r.over++
+	}
 	r.buf[r.w] = Event{Seq: r.seq, Time: now, CPU: r.cpu, Kind: k, A0: a0, A1: a1, A2: a2, A3: a3}
 	r.seq++
 	r.w++
@@ -210,6 +219,15 @@ func (r *Ring) push(now hw.Cycles, k Kind, a0, a1, a2, a3 uint64) {
 	if r.n < len(r.buf) {
 		r.n++
 	}
+}
+
+// Push appends one record to the ring. It exists for external recorders
+// that reuse the ring machinery with their own kind space (the
+// request-span recorder in internal/span); emissions of several records
+// call it once per record, so overwrite accounting stays
+// record-granular.
+func (r *Ring) Push(now hw.Cycles, k Kind, a0, a1, a2, a3 uint64) {
+	r.push(now, k, a0, a1, a2, a3)
 }
 
 // Events returns the live events oldest-first.
@@ -350,12 +368,13 @@ func (t *Tracer) Events() []Event {
 	for _, r := range t.rings {
 		per = append(per, r.Events())
 	}
-	return mergeEvents(per)
+	return MergeEvents(per)
 }
 
-// mergeEvents merges per-CPU, already-ordered event slices into the
-// (time, CPU, seq) total order.
-func mergeEvents(per [][]Event) []Event {
+// MergeEvents merges per-CPU, already-ordered event slices into the
+// (time, CPU, seq) total order. Exported because the span recorder's
+// per-CPU rings merge the same way.
+func MergeEvents(per [][]Event) []Event {
 	total := 0
 	for _, p := range per {
 		total += len(p)

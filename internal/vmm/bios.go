@@ -6,6 +6,7 @@ import (
 
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
+	"nova/internal/span"
 	"nova/internal/trace"
 	"nova/internal/x86"
 )
@@ -202,26 +203,37 @@ func (m *VMM) bios13(msg *hypervisor.UTCB) {
 // goes through the disk server).
 func (m *VMM) biosDiskRead(msg *hypervisor.UTCB, lba uint64, count int, gpa uint64) {
 	st := &msg.State
+	cpu := m.K.CurCPU()
+	// Synchronous span: the whole INT 13h service runs inline, so the
+	// span opens and closes within this call (no queueing segment).
+	sp := m.K.Spans.Open(cpu, m.K.Now(), span.ClassBIOSDisk, span.SegEmul, lba)
 	// The sector count is guest-written (AL, or the DAP's 16-bit field);
 	// reject anything beyond the conventional 127-sector BIOS transfer
 	// limit instead of sizing an allocation by it.
 	if count <= 0 || count > 127 {
+		m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusError)
 		m.setCF(msg, true)
 		st.SetReg8(4, 0x01)
 		return
 	}
+	m.K.Spans.Annotate(cpu, m.K.Now(), sp, span.AnnotSectors, uint64(count))
 	buf := make([]byte, count*hw.SectorSize)
 	if err := m.Cfg.BootDisk.ReadSectors(lba, count, buf); err != nil {
+		m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusError)
 		m.setCF(msg, true)
 		st.SetReg8(4, 0x04)
 		return
 	}
 	if err := m.GuestWrite(gpa, buf); err != nil {
+		m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusError)
 		m.setCF(msg, true)
 		st.SetReg8(4, 0x09)
 		return
 	}
+	// The media access itself is the served part of the request.
+	m.K.Spans.Transition(cpu, m.K.Now(), sp, span.SegServer)
 	m.K.ChargeUser(m.Cfg.BootDisk.ServiceTime(len(buf)))
+	m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusOK)
 	m.setCF(msg, false)
 	st.SetReg8(4, 0)
 	st.SetReg8(x86.EAX, uint8(count))

@@ -6,6 +6,7 @@ import (
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
 	"nova/internal/services"
+	"nova/internal/span"
 	"nova/internal/trace"
 )
 
@@ -35,6 +36,12 @@ type VAHCI struct {
 	clb                           uint64
 	pis, pie, pcmd, tfd, serr, ci uint32
 	inflight                      uint32
+
+	// spans correlates an in-flight forwarded command slot with its
+	// request span: assigned at doorbell decode, consumed when the
+	// completion record comes back (the cookie round-trips the slot).
+	// Zero entries mean "no span" and record nothing.
+	spans [32]span.ID
 
 	Commands uint64
 	IRQs     uint64
@@ -204,12 +211,28 @@ func (a *VAHCI) issue(slot int) {
 		m.Stats.DiskRequests++
 		m.count(m.statNames.diskReqs, 1)
 		m.K.Tracer.Emit(m.K.CurCPU(), m.K.Now(), trace.KindDiskRequest, uint64(op), lba, uint64(count), uint64(slot))
+		// The doorbell decode is the request origin: the span opens in
+		// the emulation segment, rides the portal call to the disk
+		// server, and closes when the completion interrupt is armed for
+		// injection (Figure 4 end to end).
+		cpu := m.K.CurCPU()
+		sp := m.K.Spans.Open(cpu, m.K.Now(), span.ClassDisk, span.SegEmul, uint64(slot))
+		m.K.Spans.Annotate(cpu, m.K.Now(), sp, span.AnnotLBA, lba)
+		m.K.Spans.Annotate(cpu, m.K.Now(), sp, span.AnnotSectors, uint64(count))
+		a.spans[slot] = sp
 		req := services.DiskRequest{Op: op, LBA: lba, Count: count, Bufs: bufs, Cookie: uint64(slot)}
 		msg := &hypervisor.UTCB{Words: services.EncodeRequest(&req)}
-		if err := m.K.Call(m.PD, m.diskPortalSel, msg); err != nil || len(msg.Words) == 0 || msg.Words[0] == 0 {
+		m.K.Spans.Begin(cpu, sp, span.SegEmul)
+		err := m.K.Call(m.PD, m.diskPortalSel, msg)
+		m.K.Spans.End(cpu)
+		if err != nil || len(msg.Words) == 0 || msg.Words[0] == 0 {
 			a.inflight &^= 1 << uint(slot)
 			a.fail(slot)
+			return
 		}
+		// Accepted: the request is in flight at the host device until
+		// its completion record arrives.
+		m.K.Spans.Transition(cpu, m.K.Now(), sp, span.SegQueue)
 		return
 	}
 	a.fail(slot)
@@ -233,6 +256,12 @@ func (a *VAHCI) Complete(slot int, ok bool) {
 		// out-of-range slot as a protocol violation, not an index.
 		return
 	}
+	m := a.m
+	sp := a.spans[slot]
+	a.spans[slot] = 0
+	if sp != 0 {
+		m.K.Spans.Transition(m.K.CurCPU(), m.K.Now(), sp, span.SegEmul)
+	}
 	bit := uint32(1) << uint(slot)
 	a.ci &^= bit
 	a.inflight &^= bit
@@ -245,24 +274,51 @@ func (a *VAHCI) Complete(slot int, ok bool) {
 		a.tfd |= 1
 		a.pis |= 1 << 30
 	}
-	a.interrupt()
+	raised := a.interrupt()
+	if sp == 0 {
+		return
+	}
+	cpu := m.K.CurCPU()
+	switch {
+	case raised:
+		// The completion interrupt is pending at the virtual PIC; the
+		// span closes when the VMM arms its injection into the guest
+		// (armInjection drains spanInject for the acked line).
+		m.K.Spans.Transition(cpu, m.K.Now(), sp, span.SegGuest)
+		m.spanInject[VAHCIIRQ] = append(m.spanInject[VAHCIIRQ], sp)
+	case !ok:
+		m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusError)
+	default:
+		// Completed, but the guest has the interrupt masked at the
+		// device or PIC level: the span ends at device-model completion.
+		m.K.Spans.Close(cpu, m.K.Now(), sp, span.StatusNoIRQ)
+	}
 }
 
 func (a *VAHCI) fail(slot int) {
+	if sp := a.spans[slot]; sp != 0 {
+		a.spans[slot] = 0
+		a.m.K.Spans.Close(a.m.K.CurCPU(), a.m.K.Now(), sp, span.StatusError)
+	}
 	a.ci &^= 1 << uint(slot)
 	a.tfd |= 1
 	a.pis |= 1 << 30
 	a.interrupt()
 }
 
-func (a *VAHCI) interrupt() {
+// interrupt reports whether it asserted the virtual PIC line (the
+// guest-visible behavior is unchanged; the result only steers span
+// closing between the injection path and the masked-interrupt path).
+func (a *VAHCI) interrupt() bool {
 	if a.pis&a.pie != 0 {
 		a.is |= 1
 		if a.ghc&(1<<1) != 0 {
 			a.IRQs++
 			a.m.vPIC.RaiseIRQ(VAHCIIRQ)
+			return true
 		}
 	}
+	return false
 }
 
 // identify synthesizes IDENTIFY DEVICE data for the virtual drive.

@@ -19,6 +19,7 @@ import (
 	"nova/internal/hw"
 	"nova/internal/hypervisor"
 	"nova/internal/services"
+	"nova/internal/span"
 	"nova/internal/stat"
 	"nova/internal/x86"
 )
@@ -93,6 +94,14 @@ type VMM struct {
 	inHandler  bool
 	curMsg     *hypervisor.UTCB
 	timerTicks uint64
+
+	// spanInject queues, per virtual PIC line, the request spans whose
+	// completion interrupt is pending on that line. armInjection closes
+	// every span queued on the acked line — closing all of them (not
+	// just the head) is what makes coalesced interrupts close each
+	// request exactly once: one injected vector may complete several
+	// requests.
+	spanInject [16][]span.ID
 
 	console []byte
 
@@ -347,7 +356,27 @@ func (m *VMM) armInjection(msg *hypervisor.UTCB) {
 		msg.WindowRequest = true
 		m.Stats.Injected++
 		m.count(m.statNames.injected, 1)
+		m.closeInjectedSpans(vec)
 	}
+}
+
+// closeInjectedSpans closes every request span waiting on the IRQ line
+// behind the just-acknowledged vector: arming the injection is the end
+// of the request's causal chain (the guest observes the completion when
+// it runs next). Whether the arm came from the in-handler path or a
+// recall exit, Acknowledge fires exactly once per injection, so each
+// span closes exactly once.
+func (m *VMM) closeInjectedSpans(vec uint8) {
+	line, ok := m.vPIC.LineFor(vec)
+	if !ok || line < 0 || line >= len(m.spanInject) || len(m.spanInject[line]) == 0 {
+		return
+	}
+	cpu, now := m.K.CurCPU(), m.K.Now()
+	for _, sp := range m.spanInject[line] {
+		m.K.Spans.Annotate(cpu, now, sp, span.AnnotVector, uint64(vec))
+		m.K.Spans.Close(cpu, now, sp, span.StatusOK)
+	}
+	m.spanInject[line] = m.spanInject[line][:0]
 }
 
 // handleExit is the per-vCPU portal handler: it dispatches on the event
